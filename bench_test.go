@@ -1,0 +1,221 @@
+package micrograd
+
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation section, plus micro-benchmarks of the main substrates.
+//
+// The per-figure benchmarks run the same experiment code that cmd/mgbench
+// uses, but at a deliberately small budget so that `go test -bench=.`
+// completes in a few minutes; the full-size reproduction (whose outputs are
+// recorded in EXPERIMENTS.md) is run with `go run ./cmd/mgbench -experiment
+// all`.
+
+import (
+	"context"
+	"testing"
+
+	"micrograd/internal/experiments"
+	"micrograd/internal/knobs"
+	"micrograd/internal/metrics"
+	"micrograd/internal/microprobe"
+	"micrograd/internal/platform"
+	"micrograd/internal/trace"
+	"micrograd/internal/workloads"
+)
+
+// benchBudget is the reduced budget used by the per-figure benchmarks.
+func benchBudget() experiments.Budget {
+	return experiments.Budget{
+		DynamicInstructions:   3000,
+		CloneEpochs:           5,
+		StressEpochs:          5,
+		LoopSize:              150,
+		Benchmarks:            []string{"hmmer"},
+		BruteForceEvaluations: 64,
+		Seed:                  1,
+	}
+}
+
+// BenchmarkTableI_GAParams regenerates Table I (GA baseline parameters).
+func BenchmarkTableI_GAParams(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if out := experiments.TableI().Render(); len(out) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkTableII_CoreConfigs regenerates Table II (core configurations).
+func BenchmarkTableII_CoreConfigs(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if out := experiments.TableII().Render(); len(out) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkFig2_CloningLargeGD regenerates (a reduced form of) Fig. 2:
+// workload cloning on the Large core with gradient descent.
+func BenchmarkFig2_CloningLargeGD(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFig2(context.Background(), benchBudget()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig3_CloningSmallGD regenerates Fig. 3: cloning on the Small core.
+func BenchmarkFig3_CloningSmallGD(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFig3(context.Background(), benchBudget()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig4_CloningLargeGA regenerates Fig. 4: cloning with the GA
+// baseline at the same epoch budget.
+func BenchmarkFig4_CloningLargeGA(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFig4(context.Background(), benchBudget(), map[string]int{"hmmer": 3}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig5_PerfVirus regenerates Fig. 5: the performance virus
+// (worst-case IPC), GD vs GA vs brute force.
+func BenchmarkFig5_PerfVirus(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFig5(context.Background(), benchBudget()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig6_PowerVirus regenerates Fig. 6: the power virus (worst-case
+// dynamic power), GD vs GA vs brute force.
+func BenchmarkFig6_PowerVirus(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFig6(context.Background(), benchBudget()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTableIII_PowerVirusMix regenerates Table III: the instruction
+// distribution of the GD power virus.
+func BenchmarkTableIII_PowerVirusMix(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig6(context.Background(), benchBudget())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if out := experiments.TableIIIFrom(res.GD).Render(); len(out) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkSummary_HeadlineClaims regenerates the abstract's headline
+// comparison table from reduced runs of the underlying experiments.
+func BenchmarkSummary_HeadlineClaims(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		budget := benchBudget()
+		ctx := context.Background()
+		fig2, err := experiments.RunFig2(ctx, budget)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fig4, err := experiments.RunFig4(ctx, budget, fig2.EpochsPerBenchmark())
+		if err != nil {
+			b.Fatal(err)
+		}
+		fig5, err := experiments.RunFig5(ctx, budget)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fig6, err := experiments.RunFig6(ctx, budget)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if out := experiments.Summary(fig2, fig4, fig5, fig6).Render(); len(out) == 0 {
+			b.Fatal("empty summary")
+		}
+	}
+}
+
+// --- substrate micro-benchmarks ---
+
+// BenchmarkSynthesizer measures test-case generation (knobs -> program).
+func BenchmarkSynthesizer(b *testing.B) {
+	space := knobs.DefaultSpace()
+	cfg := space.MidConfig()
+	syn := microprobe.NewSynthesizer(microprobe.Options{LoopSize: 500, Seed: 1})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := syn.Synthesize("bench", cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTraceExpansion measures dynamic trace generation throughput.
+func BenchmarkTraceExpansion(b *testing.B) {
+	cfg := knobs.DefaultSpace().MidConfig()
+	p, err := microprobe.NewSynthesizer(microprobe.Options{LoopSize: 500, Seed: 1}).Synthesize("bench", cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	exp := trace.NewExpander(p, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		exp.Next()
+	}
+}
+
+// BenchmarkSimulatorLargeCore measures the end-to-end evaluation cost of one
+// configuration on the Large core (the unit of work inside every tuning
+// epoch); the reported time is per 10k dynamic instructions.
+func BenchmarkSimulatorLargeCore(b *testing.B) {
+	plat, err := platform.NewSimPlatform(platform.Large())
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := knobs.DefaultSpace().MidConfig()
+	p, err := microprobe.NewSynthesizer(microprobe.Options{LoopSize: 500, Seed: 1}).Synthesize("bench", cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := plat.Evaluate(p, platform.EvalOptions{DynamicInstructions: 10000, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReferenceWorkloadMeasurement measures the cost of obtaining one
+// reference (target) metric vector for cloning.
+func BenchmarkReferenceWorkloadMeasurement(b *testing.B) {
+	plat, err := platform.NewSimPlatform(platform.Small())
+	if err != nil {
+		b.Fatal(err)
+	}
+	bm, err := workloads.ByName("mcf")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v, err := bm.Reference(plat, platform.EvalOptions{DynamicInstructions: 10000, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if v[metrics.IPC] <= 0 {
+			b.Fatal("bad reference")
+		}
+	}
+}

@@ -1,0 +1,232 @@
+// Command mgbench reproduces the paper's evaluation section: every table and
+// figure has an experiment that can be run individually or as a full suite.
+//
+//	mgbench -experiment all            # full reproduction (minutes)
+//	mgbench -experiment fig5 -quick    # one figure at reduced budget
+//	mgbench -experiment fig2 -csv out/ # also dump CSV data for plotting
+//
+// Experiments: tableI, tableII, fig2, fig3, fig4, fig5, fig6, tableIII,
+// summary, all.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"micrograd/internal/experiments"
+	"micrograd/internal/metrics"
+	"micrograd/internal/report"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "mgbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("mgbench", flag.ContinueOnError)
+	var (
+		experiment = fs.String("experiment", "all", "experiment to run: tableI, tableII, fig2, fig3, fig4, fig5, fig6, tableIII, summary, all")
+		quick      = fs.Bool("quick", false, "use the reduced quick budget (3 benchmarks, short simulations)")
+		csvDir     = fs.String("csv", "", "directory to write CSV data files into (empty = don't write)")
+		dynInstr   = fs.Int("instructions", 0, "override dynamic instructions per evaluation")
+		epochs     = fs.Int("epochs", 0, "override cloning epochs")
+		seed       = fs.Int64("seed", 0, "override random seed")
+		benchList  = fs.String("benchmarks", "", "comma-separated benchmark subset (default: all eight)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	budget := experiments.FullBudget()
+	if *quick {
+		budget = experiments.QuickBudget()
+	}
+	if *dynInstr > 0 {
+		budget.DynamicInstructions = *dynInstr
+	}
+	if *epochs > 0 {
+		budget.CloneEpochs = *epochs
+	}
+	if *seed != 0 {
+		budget.Seed = *seed
+	}
+	if *benchList != "" {
+		budget.Benchmarks = strings.Split(*benchList, ",")
+	}
+
+	ctx := context.Background()
+	runner := &suite{out: out, csvDir: *csvDir, budget: budget}
+	return runner.run(ctx, strings.ToLower(*experiment))
+}
+
+// suite executes experiments and holds shared state (Fig. 2 results feed the
+// Fig. 4 epoch budget, Fig. 6 feeds Table III).
+type suite struct {
+	out    io.Writer
+	csvDir string
+	budget experiments.Budget
+
+	fig2 *experiments.CloningResult
+	fig4 *experiments.CloningResult
+	fig5 *experiments.StressResult
+	fig6 *experiments.StressResult
+}
+
+func (s *suite) run(ctx context.Context, which string) error {
+	order := []string{which}
+	if which == "all" {
+		order = []string{"tablei", "tableii", "fig2", "fig3", "fig4", "fig5", "fig6", "tableiii", "summary"}
+	}
+	for _, exp := range order {
+		start := time.Now()
+		if err := s.runOne(ctx, exp); err != nil {
+			return fmt.Errorf("%s: %w", exp, err)
+		}
+		fmt.Fprintf(s.out, "[%s completed in %s]\n\n", exp, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}
+
+func (s *suite) runOne(ctx context.Context, which string) error {
+	switch which {
+	case "tablei":
+		fmt.Fprintln(s.out, experiments.TableI().Render())
+	case "tableii":
+		fmt.Fprintln(s.out, experiments.TableII().Render())
+	case "fig2":
+		res, err := experiments.RunFig2(ctx, s.budget)
+		if err != nil {
+			return err
+		}
+		s.fig2 = &res
+		fmt.Fprintln(s.out, res.Render())
+		return s.writeCloningCSV(res)
+	case "fig3":
+		res, err := experiments.RunFig3(ctx, s.budget)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(s.out, res.Render())
+		return s.writeCloningCSV(res)
+	case "fig4":
+		var gdEpochs map[string]int
+		if s.fig2 != nil {
+			gdEpochs = s.fig2.EpochsPerBenchmark()
+		}
+		res, err := experiments.RunFig4(ctx, s.budget, gdEpochs)
+		if err != nil {
+			return err
+		}
+		s.fig4 = &res
+		fmt.Fprintln(s.out, res.Render())
+		return s.writeCloningCSV(res)
+	case "fig5":
+		res, err := experiments.RunFig5(ctx, s.budget)
+		if err != nil {
+			return err
+		}
+		s.fig5 = &res
+		fmt.Fprintln(s.out, res.Render())
+		return s.writeStressCSV(res)
+	case "fig6":
+		res, err := experiments.RunFig6(ctx, s.budget)
+		if err != nil {
+			return err
+		}
+		s.fig6 = &res
+		fmt.Fprintln(s.out, res.Render())
+		return s.writeStressCSV(res)
+	case "tableiii":
+		if s.fig6 == nil {
+			res, err := experiments.RunFig6(ctx, s.budget)
+			if err != nil {
+				return err
+			}
+			s.fig6 = &res
+		}
+		fmt.Fprintln(s.out, experiments.TableIIIFrom(s.fig6.GD).Render())
+	case "summary":
+		if err := s.ensureSummaryInputs(ctx); err != nil {
+			return err
+		}
+		sum := experiments.Summary(*s.fig2, *s.fig4, *s.fig5, *s.fig6)
+		fmt.Fprintln(s.out, sum.Render())
+	default:
+		return fmt.Errorf("unknown experiment %q", which)
+	}
+	return nil
+}
+
+// ensureSummaryInputs runs any experiment the summary still needs.
+func (s *suite) ensureSummaryInputs(ctx context.Context) error {
+	var err error
+	if s.fig2 == nil {
+		var res experiments.CloningResult
+		if res, err = experiments.RunFig2(ctx, s.budget); err != nil {
+			return err
+		}
+		s.fig2 = &res
+	}
+	if s.fig4 == nil {
+		var res experiments.CloningResult
+		if res, err = experiments.RunFig4(ctx, s.budget, s.fig2.EpochsPerBenchmark()); err != nil {
+			return err
+		}
+		s.fig4 = &res
+	}
+	if s.fig5 == nil {
+		var res experiments.StressResult
+		if res, err = experiments.RunFig5(ctx, s.budget); err != nil {
+			return err
+		}
+		s.fig5 = &res
+	}
+	if s.fig6 == nil {
+		var res experiments.StressResult
+		if res, err = experiments.RunFig6(ctx, s.budget); err != nil {
+			return err
+		}
+		s.fig6 = &res
+	}
+	return nil
+}
+
+// writeCloningCSV dumps a cloning experiment's radar data.
+func (s *suite) writeCloningCSV(res experiments.CloningResult) error {
+	if s.csvDir == "" {
+		return nil
+	}
+	t := report.RadarTable(res.Figure, metrics.CloningMetricNames(), res.AccuracyRatios(), res.EpochsPerBenchmark())
+	return writeCSVFile(filepath.Join(s.csvDir, res.Figure+".csv"), t.WriteCSV)
+}
+
+// writeStressCSV dumps a stress experiment's progression series.
+func (s *suite) writeStressCSV(res experiments.StressResult) error {
+	if s.csvDir == "" {
+		return nil
+	}
+	return writeCSVFile(filepath.Join(s.csvDir, res.Figure+".csv"), func(w io.Writer) error {
+		return report.SeriesCSV(w, res.Series()...)
+	})
+}
+
+func writeCSVFile(path string, fill func(io.Writer) error) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return fill(f)
+}

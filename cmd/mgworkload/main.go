@@ -1,0 +1,88 @@
+// Command mgworkload inspects the built-in reference applications (the SPEC
+// INT CPU2006 stand-ins): it lists the suite, shows each benchmark's phases,
+// and measures the reference metric vectors on a chosen core, which is
+// useful for understanding what the cloning experiments are asked to match.
+//
+//	mgworkload -list
+//	mgworkload -benchmark mcf -core large
+//	mgworkload -core small            # measure the whole suite
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"micrograd/internal/metrics"
+	"micrograd/internal/platform"
+	"micrograd/internal/report"
+	"micrograd/internal/workloads"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "mgworkload:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("mgworkload", flag.ContinueOnError)
+	var (
+		list      = fs.Bool("list", false, "list the reference applications and exit")
+		benchmark = fs.String("benchmark", "", "measure only this benchmark")
+		coreName  = fs.String("core", "large", "core to measure on: small or large")
+		dynInstr  = fs.Int("instructions", 20000, "dynamic instructions per measurement")
+		seed      = fs.Int64("seed", 1, "trace expansion seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		t := report.NewTable("Reference applications", "name", "phases", "description")
+		for _, b := range workloads.SPECInt2006() {
+			t.AddRow(b.Name, fmt.Sprintf("%d", len(b.Phases)), b.Description)
+		}
+		fmt.Fprintln(out, t.String())
+		return nil
+	}
+
+	spec, err := platform.ByName(*coreName)
+	if err != nil {
+		return err
+	}
+	plat, err := platform.NewSimPlatform(spec)
+	if err != nil {
+		return err
+	}
+	opts := platform.EvalOptions{DynamicInstructions: *dynInstr, Seed: *seed}
+
+	var suite []workloads.Benchmark
+	if *benchmark != "" {
+		bm, err := workloads.ByName(*benchmark)
+		if err != nil {
+			return err
+		}
+		suite = []workloads.Benchmark{bm}
+	} else {
+		suite = workloads.SPECInt2006()
+	}
+
+	cols := append([]string{"benchmark"}, metrics.CloningMetricNames()...)
+	t := report.NewTable(fmt.Sprintf("Reference metrics on the %q core (%d dynamic instructions)", *coreName, *dynInstr), cols...)
+	for _, bm := range suite {
+		v, err := bm.Reference(plat, opts)
+		if err != nil {
+			return fmt.Errorf("measuring %s: %w", bm.Name, err)
+		}
+		row := []string{bm.Name}
+		for _, m := range metrics.CloningMetricNames() {
+			row = append(row, fmt.Sprintf("%.4f", v[m]))
+		}
+		t.AddRow(row...)
+	}
+	fmt.Fprintln(out, t.String())
+	return nil
+}

@@ -1,0 +1,140 @@
+// Command micrograd is the MicroGrad framework CLI: it runs a workload
+// cloning or stress testing job described either by a JSON configuration
+// file (-config) or by command-line flags, and writes the generated kernel
+// and its reports to the output directory.
+//
+// Examples:
+//
+//	micrograd -use-case cloning -benchmark mcf -core large -out out/
+//	micrograd -use-case stress -stress-kind power-virus -core large -epochs 30
+//	micrograd -config my-run.json
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"micrograd/internal/config"
+	"micrograd/internal/core"
+	"micrograd/internal/metrics"
+	"micrograd/internal/report"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "micrograd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("micrograd", flag.ContinueOnError)
+	var (
+		configPath = fs.String("config", "", "path to a JSON framework configuration (overrides other flags)")
+		useCase    = fs.String("use-case", config.UseCaseCloning, "use case: cloning or stress")
+		benchmark  = fs.String("benchmark", "", "reference application to clone (astar, bzip2, gcc, hmmer, libquantum, mcf, sjeng, xalancbmk)")
+		simpoints  = fs.Bool("simpoints", false, "clone every phase (simpoint) of the benchmark individually")
+		stressKind = fs.String("stress-kind", "perf-virus", "stress kind: perf-virus or power-virus")
+		coreName   = fs.String("core", "large", "core configuration: small or large (Table II)")
+		tunerName  = fs.String("tuner", "gd", "tuning mechanism: gd, ga, random, bruteforce")
+		epochs     = fs.Int("epochs", 0, "maximum tuning epochs (0 = use-case default)")
+		accuracy   = fs.Float64("accuracy", 0.99, "cloning target accuracy")
+		dynInstr   = fs.Int("instructions", 0, "dynamic instructions per evaluation (0 = default)")
+		loopSize   = fs.Int("loop-size", 0, "static kernel size (0 = ~500)")
+		seed       = fs.Int64("seed", 1, "random seed")
+		outDir     = fs.String("out", "", "directory to write the kernel and reports into (empty = don't write)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var cfg config.Config
+	var err error
+	if *configPath != "" {
+		cfg, err = config.Load(*configPath)
+		if err != nil {
+			return err
+		}
+	} else {
+		cfg = config.Default()
+		cfg.UseCase = *useCase
+		cfg.Benchmark = *benchmark
+		cfg.CloneSimpoints = *simpoints
+		cfg.StressKind = *stressKind
+		cfg.Core = *coreName
+		cfg.Tuner = *tunerName
+		cfg.MaxEpochs = *epochs
+		cfg.TargetAccuracy = *accuracy
+		cfg.DynamicInstructions = *dynInstr
+		cfg.LoopSize = *loopSize
+		cfg.Seed = *seed
+		cfg.OutputDir = *outDir
+		if err := cfg.Validate(); err != nil {
+			return err
+		}
+	}
+
+	fw, err := core.New(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "MicroGrad: %s on the %q core with tuner %q\n", cfg.UseCase, cfg.Core, cfg.Tuner)
+	result, err := fw.Run(context.Background())
+	if err != nil {
+		return err
+	}
+	printOutput(out, result)
+
+	if cfg.OutputDir != "" {
+		paths, err := result.WriteArtifacts(cfg.OutputDir)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, "\nartifacts written:")
+		for _, p := range paths {
+			fmt.Fprintln(out, "  ", p)
+		}
+	}
+	return nil
+}
+
+// printOutput renders the run result.
+func printOutput(out *os.File, result *core.Output) {
+	fmt.Fprintf(out, "\nrun %q finished: %d platform evaluations, %d epochs\n",
+		result.Name, result.Evaluations, len(result.Progression))
+
+	if len(result.CloneReports) > 0 {
+		names := make([]string, 0, len(result.CloneReports))
+		for n := range result.CloneReports {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			rep := result.CloneReports[n]
+			t := report.NewTable(fmt.Sprintf("clone %s (mean accuracy %.1f%%, %d epochs)", rep.Name, rep.MeanAccuracy*100, rep.Epochs),
+				"metric", "target", "clone", "ratio")
+			for _, m := range metrics.CloningMetricNames() {
+				t.AddRow(m,
+					fmt.Sprintf("%.4f", rep.Target[m]),
+					fmt.Sprintf("%.4f", rep.Clone[m]),
+					fmt.Sprintf("%.3f", rep.Accuracy[m]))
+			}
+			fmt.Fprintln(out, "\n"+t.String())
+		}
+	}
+	if result.StressReport != nil {
+		rep := result.StressReport
+		fmt.Fprintf(out, "\nstress test %q: best %s = %.4f after %d epochs (%d evaluations)\n",
+			rep.Kind, rep.Metric, rep.BestValue, rep.Epochs, rep.Evaluations)
+		series := report.Series{Name: "best"}
+		for _, p := range rep.Progression {
+			series.AddPoint(float64(p.Epoch), p.BestValue)
+		}
+		fmt.Fprintln(out, report.AsciiChart("progression", 60, 12, series))
+	}
+	fmt.Fprintf(out, "\nknobs: %s\n", result.Knobs.String())
+	fmt.Fprintf(out, "metrics: %s\n", result.Metrics.String())
+}

@@ -1,0 +1,81 @@
+// Workload cloning example: clone several SPEC-like reference applications
+// on both core configurations and write the clone kernels to disk.
+//
+// This mirrors the paper's primary use case (Figs. 2-3): for each selected
+// benchmark the reference metric vector is measured, a clone is tuned with
+// gradient descent, and the resulting kernel is emitted both as RISC-V
+// assembly and as a portable C kernel, ready to be assembled/compiled and
+// run on native hardware or a full simulator.
+//
+// Run with:
+//
+//	go run ./examples/cloning [output-dir]
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"micrograd"
+)
+
+func main() {
+	outDir := "clones"
+	if len(os.Args) > 1 {
+		outDir = os.Args[1]
+	}
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+
+	benchmarks := []string{"bzip2", "mcf", "sjeng"}
+	cores := []string{"small", "large"}
+
+	for _, coreName := range cores {
+		plat, err := micrograd.NewPlatform(coreName)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("=== core %q ===\n", coreName)
+		for _, name := range benchmarks {
+			bench, err := micrograd.BenchmarkByName(name)
+			if err != nil {
+				log.Fatal(err)
+			}
+			report, err := micrograd.CloneBenchmark(context.Background(), bench, micrograd.CloneOptions{
+				Platform:    plat,
+				EvalOptions: micrograd.EvalOptions{DynamicInstructions: 15000, Seed: 1},
+				MaxEpochs:   25,
+				Seed:        7,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %-12s accuracy %.1f%%  epochs %-3d evaluations %d\n",
+				name, report.MeanAccuracy*100, report.Epochs, report.Evaluations)
+
+			// Emit the clone artifacts.
+			base := filepath.Join(outDir, fmt.Sprintf("%s-%s", name, coreName))
+			asm, err := os.Create(base + ".S")
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := report.Program.EmitAssembly(asm); err != nil {
+				log.Fatal(err)
+			}
+			asm.Close()
+			ck, err := os.Create(base + ".c")
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := report.Program.EmitC(ck); err != nil {
+				log.Fatal(err)
+			}
+			ck.Close()
+		}
+	}
+	fmt.Printf("\nclone kernels written to %s/ (<benchmark>-<core>.S and .c)\n", outDir)
+}

@@ -1,0 +1,61 @@
+// Quickstart: clone one reference application in a few seconds.
+//
+// This example measures the metric signature of the built-in "hmmer"
+// reference workload on the paper's Large core, asks MicroGrad to generate a
+// synthetic clone that matches it, and prints the per-metric accuracy — the
+// data behind one radar of the paper's Fig. 2 — together with the clone's
+// knob settings.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"micrograd"
+)
+
+func main() {
+	// 1. An evaluation platform: the Gem5+McPAT-like simulator configured as
+	// the paper's Large core (Table II).
+	plat, err := micrograd.NewPlatform("large")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. A reference application to clone. The suite models the 8 SPEC INT
+	// CPU2006 benchmarks the paper uses.
+	bench, err := micrograd.BenchmarkByName("hmmer")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Clone it. Budgets here are deliberately small so the example runs
+	// in seconds; cmd/mgbench runs the full-size experiments.
+	report, err := micrograd.CloneBenchmark(context.Background(), bench, micrograd.CloneOptions{
+		Platform:    plat,
+		EvalOptions: micrograd.EvalOptions{DynamicInstructions: 20000, Seed: 1},
+		MaxEpochs:   30,
+		Seed:        42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("cloned %q in %d epochs (%d simulator evaluations)\n",
+		report.Name, report.Epochs, report.Evaluations)
+	fmt.Printf("mean accuracy: %.1f%%\n\n", report.MeanAccuracy*100)
+	fmt.Printf("%-24s %10s %10s %8s\n", "metric", "reference", "clone", "ratio")
+	for _, m := range micrograd.CloningMetricNames() {
+		fmt.Printf("%-24s %10.4f %10.4f %8.3f\n", m, report.Target[m], report.Clone[m], report.Accuracy[m])
+	}
+
+	fmt.Printf("\nclone knob configuration:\n  %s\n", report.Config.String())
+	fmt.Println("\nemit the clone kernel with report.Program.EmitAssembly(w) or report.Program.EmitC(w)")
+	fmt.Printf("static size: %d instructions, data footprint: %d bytes\n",
+		report.Program.StaticCount(), report.Program.FootprintBytes())
+}

@@ -1,0 +1,69 @@
+// Stress-testing example: generate a performance virus (worst-case IPC) and
+// a power virus (worst-case dynamic power) for the Large core, print their
+// tuning progressions and the power virus' instruction distribution — the
+// data behind the paper's Figs. 5-6 and Table III.
+//
+// Run with:
+//
+//	go run ./examples/stresstest
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"micrograd"
+)
+
+func main() {
+	ctx := context.Background()
+
+	// Performance virus: minimize IPC by tuning the instruction mix.
+	perfPlat, err := micrograd.NewPlatform("large")
+	if err != nil {
+		log.Fatal(err)
+	}
+	perf, err := micrograd.StressTest(ctx, micrograd.PerfVirus, micrograd.StressOptions{
+		Platform:    perfPlat,
+		EvalOptions: micrograd.EvalOptions{DynamicInstructions: 20000, Seed: 1},
+		MaxEpochs:   30,
+		Seed:        3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("performance virus: worst-case IPC %.3f after %d epochs (%d evaluations)\n",
+		perf.BestValue, perf.Epochs, perf.Evaluations)
+	fmt.Println("  epoch progression (best-so-far IPC):")
+	for _, p := range perf.Progression {
+		fmt.Printf("    epoch %2d: %.3f\n", p.Epoch, p.BestValue)
+	}
+
+	// Power virus: maximize dynamic power; the knob space additionally
+	// includes the register dependency distance.
+	powerPlat, err := micrograd.NewPlatform("large")
+	if err != nil {
+		log.Fatal(err)
+	}
+	power, err := micrograd.StressTest(ctx, micrograd.PowerVirus, micrograd.StressOptions{
+		Platform:    powerPlat,
+		EvalOptions: micrograd.EvalOptions{DynamicInstructions: 20000, Seed: 1},
+		MaxEpochs:   30,
+		Seed:        3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\npower virus: worst-case dynamic power %.2f W after %d epochs (%d evaluations)\n",
+		power.BestValue, power.Epochs, power.Evaluations)
+	fmt.Printf("register dependency distance chosen: %d (paper: driven to the maximum)\n", power.RegDist)
+	fmt.Println("instruction distribution of the power virus (paper Table III):")
+	fmt.Printf("  integer %.1f%%  float %.1f%%  branch %.1f%%  load %.1f%%  store %.1f%%\n",
+		power.BestMetrics["frac_integer"]*100,
+		power.BestMetrics["frac_float"]*100,
+		power.BestMetrics["frac_branch"]*100,
+		power.BestMetrics["frac_load"]*100,
+		power.BestMetrics["frac_store"]*100)
+	fmt.Printf("\nstress kernel knobs:\n  %s\n", power.Config.String())
+}

@@ -1,0 +1,229 @@
+// Package cloning implements MicroGrad's Workload Cloning use case: given a
+// reference application's metric vector (measured on an evaluation
+// platform), tune the knob configuration until the generated synthetic
+// workload reproduces those metrics, then emit the clone.
+package cloning
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"micrograd/internal/knobs"
+	"micrograd/internal/metrics"
+	"micrograd/internal/microprobe"
+	"micrograd/internal/platform"
+	"micrograd/internal/program"
+	"micrograd/internal/tuner"
+	"micrograd/internal/workloads"
+)
+
+// DefaultMaxEpochs bounds the tuning run when the caller does not specify a
+// limit. The paper's clones converge in 5-52 epochs.
+const DefaultMaxEpochs = 60
+
+// DefaultTargetAccuracy is the paper's 99% accuracy target.
+const DefaultTargetAccuracy = 0.99
+
+// Options configures a cloning run.
+type Options struct {
+	// Space is the knob space to tune; nil means knobs.DefaultSpace().
+	Space *knobs.Space
+	// Tuner is the tuning mechanism; nil means gradient descent with default
+	// parameters.
+	Tuner tuner.Tuner
+	// Platform is the evaluation platform the clone is tuned against.
+	Platform platform.Platform
+	// EvalOptions controls each evaluation (dynamic instruction budget, seed).
+	EvalOptions platform.EvalOptions
+	// LoopSize is the clone's static size; zero means the generator default
+	// (≈500 instructions, as in the paper).
+	LoopSize int
+	// Seed drives the tuner's and generator's stochastic choices.
+	Seed int64
+	// MaxEpochs bounds tuning; zero means DefaultMaxEpochs.
+	MaxEpochs int
+	// TargetAccuracy stops tuning once the mean per-metric accuracy reaches
+	// this value; zero means DefaultTargetAccuracy.
+	TargetAccuracy float64
+	// Metrics restricts the cloning targets; nil means the paper's nine
+	// radar metrics (instruction distribution, miss rates, mispredictions,
+	// IPC).
+	Metrics []string
+	// Weights optionally weights individual metrics in the loss.
+	Weights map[string]float64
+}
+
+// normalized fills in defaults.
+func (o Options) normalized() Options {
+	if o.Space == nil {
+		o.Space = knobs.DefaultSpace()
+	}
+	if o.Tuner == nil {
+		o.Tuner = tuner.NewGradientDescent(tuner.GDParams{})
+	}
+	if o.MaxEpochs <= 0 {
+		o.MaxEpochs = DefaultMaxEpochs
+	}
+	if o.TargetAccuracy <= 0 {
+		o.TargetAccuracy = DefaultTargetAccuracy
+	}
+	if len(o.Metrics) == 0 {
+		o.Metrics = metrics.CloningMetricNames()
+	}
+	return o
+}
+
+// Report is the outcome of one cloning run.
+type Report struct {
+	// Name identifies the cloned application.
+	Name string
+	// Target is the reference metric vector the clone was tuned towards.
+	Target metrics.Vector
+	// Clone is the metric vector of the best clone found.
+	Clone metrics.Vector
+	// Accuracy maps each targeted metric to the clone/target ratio (the
+	// paper's radar-axis value; 1.0 is a perfect match).
+	Accuracy map[string]float64
+	// MeanAccuracy is 1 minus the mean relative error across the targeted
+	// metrics.
+	MeanAccuracy float64
+	// Epochs is the number of tuning epochs used.
+	Epochs int
+	// Evaluations is the number of platform evaluations consumed.
+	Evaluations int
+	// Converged reports whether tuning stopped before exhausting MaxEpochs.
+	Converged bool
+	// Config is the best knob configuration.
+	Config knobs.Config
+	// Program is the generated clone.
+	Program *program.Program
+	// TunerResult carries the full epoch progression for reporting.
+	TunerResult tuner.Result
+}
+
+// TargetLossFor converts a mean-accuracy target over n metrics into the
+// equivalent log-loss threshold used for early stopping.
+func TargetLossFor(accuracy float64, n int) float64 {
+	if accuracy <= 0 || accuracy >= 1 {
+		return tuner.NoTargetLoss
+	}
+	lr := math.Log(1 / accuracy)
+	return float64(n) * lr * lr
+}
+
+// Clone tunes a synthetic workload to match the target metric vector.
+func Clone(ctx context.Context, name string, target metrics.Vector, opts Options) (Report, error) {
+	opts = opts.normalized()
+	if opts.Platform == nil {
+		return Report{}, fmt.Errorf("cloning: no evaluation platform configured")
+	}
+	if len(target) == 0 {
+		return Report{}, fmt.Errorf("cloning: empty target metric vector")
+	}
+
+	syn := microprobe.NewSynthesizer(microprobe.Options{LoopSize: opts.LoopSize, Seed: opts.Seed})
+	evaluator := tuner.NewCountingEvaluator(tuner.EvaluatorFunc(func(cfg knobs.Config) (metrics.Vector, error) {
+		p, err := syn.Synthesize("clone-"+name, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return opts.Platform.Evaluate(p, opts.EvalOptions)
+	}))
+	memo := tuner.NewMemoizingEvaluator(evaluator)
+
+	loss := metrics.CloneLoss{Target: target, Weights: opts.Weights, Metrics: opts.Metrics}
+	prob := tuner.Problem{
+		Space:      opts.Space,
+		Loss:       loss,
+		Evaluator:  memo,
+		MaxEpochs:  opts.MaxEpochs,
+		TargetLoss: TargetLossFor(opts.TargetAccuracy, len(opts.Metrics)),
+		Seed:       opts.Seed,
+	}
+
+	res, err := opts.Tuner.Run(ctx, prob)
+	if err != nil {
+		return Report{}, fmt.Errorf("cloning: tuning %s: %w", name, err)
+	}
+	if res.Best.IsZero() {
+		return Report{}, fmt.Errorf("cloning: tuner produced no configuration for %s", name)
+	}
+
+	cloneProg, err := syn.Synthesize("clone-"+name, res.Best)
+	if err != nil {
+		return Report{}, fmt.Errorf("cloning: regenerating clone for %s: %w", name, err)
+	}
+	cloneProg.Meta["use_case"] = "workload-cloning"
+	cloneProg.Meta["cloned_application"] = name
+	cloneProg.Meta["tuner"] = res.Tuner
+
+	rep := Report{
+		Name:         name,
+		Target:       target.Clone(),
+		Clone:        res.BestMetrics.Clone(),
+		Accuracy:     make(map[string]float64, len(opts.Metrics)),
+		MeanAccuracy: metrics.MeanAccuracy(res.BestMetrics, target, opts.Metrics),
+		Epochs:       len(res.Epochs),
+		Evaluations:  evaluator.Count(),
+		Converged:    res.Converged,
+		Config:       res.Best,
+		Program:      cloneProg,
+		TunerResult:  res,
+	}
+	for _, m := range opts.Metrics {
+		got, okG := res.BestMetrics[m]
+		want, okW := target[m]
+		if okG && okW {
+			rep.Accuracy[m] = metrics.AccuracyRatio(got, want)
+		}
+	}
+	return rep, nil
+}
+
+// CloneBenchmark measures the reference metrics of a benchmark's dominant
+// phase on the options' platform and clones it.
+func CloneBenchmark(ctx context.Context, bm workloads.Benchmark, opts Options) (Report, error) {
+	o := opts.normalized()
+	if o.Platform == nil {
+		return Report{}, fmt.Errorf("cloning: no evaluation platform configured")
+	}
+	if err := bm.Validate(); err != nil {
+		return Report{}, err
+	}
+	target, err := bm.Reference(o.Platform, o.EvalOptions)
+	if err != nil {
+		return Report{}, fmt.Errorf("cloning: measuring reference %s: %w", bm.Name, err)
+	}
+	return Clone(ctx, bm.Name, target, opts)
+}
+
+// CloneSimpoints clones every phase (simpoint) of a benchmark individually
+// and returns the per-phase reports keyed by phase name, mirroring the
+// paper's "one clone per interesting phase" input mode.
+func CloneSimpoints(ctx context.Context, bm workloads.Benchmark, opts Options) (map[string]Report, error) {
+	o := opts.normalized()
+	if o.Platform == nil {
+		return nil, fmt.Errorf("cloning: no evaluation platform configured")
+	}
+	if err := bm.Validate(); err != nil {
+		return nil, err
+	}
+	out := make(map[string]Report, len(bm.Phases))
+	for _, ph := range bm.Phases {
+		prog, err := bm.PhaseProgram(ph)
+		if err != nil {
+			return nil, err
+		}
+		target, err := o.Platform.Evaluate(prog, o.EvalOptions)
+		if err != nil {
+			return nil, fmt.Errorf("cloning: measuring %s/%s: %w", bm.Name, ph.Name, err)
+		}
+		rep, err := Clone(ctx, fmt.Sprintf("%s-%s", bm.Name, ph.Name), target, opts)
+		if err != nil {
+			return nil, err
+		}
+		out[ph.Name] = rep
+	}
+	return out, nil
+}

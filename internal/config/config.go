@@ -1,0 +1,153 @@
+// Package config defines MicroGrad's framework input configuration
+// (§III-A of the paper): a single JSON document that selects the use case,
+// the target evaluation platform and architecture configuration, the tuning
+// mechanism, the accuracy requirements and the application (or explicit
+// metric values) to clone or the metric to stress.
+package config
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// Use cases.
+const (
+	UseCaseCloning = "cloning"
+	UseCaseStress  = "stress"
+)
+
+// Tuner names accepted in configurations.
+const (
+	TunerGD         = "gd"
+	TunerGA         = "ga"
+	TunerRandom     = "random"
+	TunerBruteForce = "bruteforce"
+	TunerSA         = "sa"
+)
+
+// Config is the framework input document.
+type Config struct {
+	// UseCase selects "cloning" or "stress".
+	UseCase string `json:"use_case"`
+	// Core selects the architecture configuration ("small" or "large",
+	// Table II).
+	Core string `json:"core"`
+	// Tuner selects the tuning mechanism ("gd", "ga", "random",
+	// "bruteforce"); default "gd".
+	Tuner string `json:"tuner"`
+	// MaxEpochs bounds tuning (0 = use-case default).
+	MaxEpochs int `json:"max_epochs"`
+	// TargetAccuracy is the cloning accuracy requirement (0 = default 0.99).
+	TargetAccuracy float64 `json:"target_accuracy"`
+	// DynamicInstructions is the per-evaluation simulation length
+	// (0 = platform default).
+	DynamicInstructions int `json:"dynamic_instructions"`
+	// LoopSize is the generated kernel's static size (0 = default ≈500).
+	LoopSize int `json:"loop_size"`
+	// Seed drives all stochastic choices.
+	Seed int64 `json:"seed"`
+
+	// Benchmark names the reference application to clone (one of the
+	// built-in SPEC-like workloads). Mutually exclusive with TargetMetrics.
+	Benchmark string `json:"benchmark,omitempty"`
+	// CloneSimpoints clones each phase of the benchmark separately.
+	CloneSimpoints bool `json:"clone_simpoints,omitempty"`
+	// TargetMetrics provides the metric values to clone directly (the
+	// paper's "numerical values of the application's metrics" input mode).
+	TargetMetrics map[string]float64 `json:"target_metrics,omitempty"`
+	// Metrics restricts which metrics the clone must match (empty = the
+	// default nine cloning metrics).
+	Metrics []string `json:"metrics,omitempty"`
+
+	// StressKind selects "perf-virus" or "power-virus".
+	StressKind string `json:"stress_kind,omitempty"`
+	// StressMetric optionally overrides the stressed metric; Maximize sets
+	// the direction for custom metrics.
+	StressMetric string `json:"stress_metric,omitempty"`
+	Maximize     bool   `json:"maximize,omitempty"`
+
+	// OutputDir is where artifacts (kernel assembly, C kernel, knob and
+	// metric dumps) are written; empty disables artifact writing.
+	OutputDir string `json:"output_dir,omitempty"`
+}
+
+// Default returns the configuration defaults shared by both use cases.
+func Default() Config {
+	return Config{
+		UseCase:        UseCaseCloning,
+		Core:           "large",
+		Tuner:          TunerGD,
+		TargetAccuracy: 0.99,
+		Seed:           1,
+	}
+}
+
+// Parse reads a JSON configuration, applying defaults for absent fields.
+func Parse(r io.Reader) (Config, error) {
+	cfg := Default()
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&cfg); err != nil {
+		return Config{}, fmt.Errorf("config: parsing: %w", err)
+	}
+	if err := cfg.Validate(); err != nil {
+		return Config{}, err
+	}
+	return cfg, nil
+}
+
+// Load reads a JSON configuration file.
+func Load(path string) (Config, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Config{}, fmt.Errorf("config: %w", err)
+	}
+	defer f.Close()
+	return Parse(f)
+}
+
+// Validate checks the configuration for consistency.
+func (c Config) Validate() error {
+	switch c.UseCase {
+	case UseCaseCloning:
+		if c.Benchmark == "" && len(c.TargetMetrics) == 0 {
+			return fmt.Errorf("config: cloning needs a benchmark or explicit target_metrics")
+		}
+		if c.Benchmark != "" && len(c.TargetMetrics) > 0 {
+			return fmt.Errorf("config: benchmark and target_metrics are mutually exclusive")
+		}
+	case UseCaseStress:
+		if c.StressKind == "" && c.StressMetric == "" {
+			return fmt.Errorf("config: stress needs stress_kind or stress_metric")
+		}
+	default:
+		return fmt.Errorf("config: unknown use_case %q (want %q or %q)", c.UseCase, UseCaseCloning, UseCaseStress)
+	}
+	switch c.Core {
+	case "small", "large":
+	default:
+		return fmt.Errorf("config: unknown core %q (want small or large)", c.Core)
+	}
+	switch strings.ToLower(c.Tuner) {
+	case TunerGD, TunerGA, TunerRandom, TunerBruteForce, TunerSA, "":
+	default:
+		return fmt.Errorf("config: unknown tuner %q", c.Tuner)
+	}
+	if c.MaxEpochs < 0 || c.DynamicInstructions < 0 || c.LoopSize < 0 {
+		return fmt.Errorf("config: negative budget values")
+	}
+	if c.TargetAccuracy < 0 || c.TargetAccuracy > 1 {
+		return fmt.Errorf("config: target_accuracy %v outside [0,1]", c.TargetAccuracy)
+	}
+	return nil
+}
+
+// Write serializes the configuration as indented JSON.
+func (c Config) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(c)
+}

@@ -1,0 +1,364 @@
+// Package cpusim implements the trace-driven out-of-order core timing model
+// that stands in for the Gem5 performance simulator in this reproduction.
+//
+// The model is a scoreboard-style approximation of an out-of-order core:
+// instructions from the dynamic trace are dispatched in order subject to the
+// front-end width, reorder-buffer, load/store-queue and reservation-station
+// occupancy limits; they issue when their register sources are ready and a
+// functional unit of the right kind is free; loads and stores pay the cache
+// hierarchy latency reported by internal/memsim; mispredicted branches
+// (decided by internal/branchsim) squash the front end for a fixed penalty.
+// This keeps the model fast enough to sit inside a tuning loop that runs
+// thousands of evaluations while preserving the sensitivities that MicroGrad's
+// knobs exercise: instruction mix, dependency distance, memory locality and
+// branch predictability.
+package cpusim
+
+import (
+	"fmt"
+
+	"micrograd/internal/branchsim"
+	"micrograd/internal/isa"
+	"micrograd/internal/memsim"
+	"micrograd/internal/program"
+	"micrograd/internal/trace"
+)
+
+// Config describes the core microarchitecture (the paper's Table II).
+type Config struct {
+	// Name identifies the core ("small", "large").
+	Name string
+	// FrequencyGHz is the core clock, used for power estimation.
+	FrequencyGHz float64
+	// FrontEndWidth is the fetch/dispatch/retire width.
+	FrontEndWidth int
+	// ROBSize is the reorder buffer capacity.
+	ROBSize int
+	// LSQSize is the load/store queue capacity.
+	LSQSize int
+	// RSESize is the reservation station (scheduler) capacity.
+	RSESize int
+	// NumALU, NumMul, NumFP, NumLSU are functional unit counts. NumMul
+	// corresponds to the paper's SIMD/complex pipes.
+	NumALU int
+	NumMul int
+	NumFP  int
+	NumLSU int
+	// MispredictPenalty is the front-end refill penalty in cycles after a
+	// mispredicted branch resolves.
+	MispredictPenalty int
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.FrequencyGHz <= 0 {
+		return fmt.Errorf("cpusim: non-positive frequency")
+	}
+	if c.FrontEndWidth <= 0 {
+		return fmt.Errorf("cpusim: non-positive front-end width")
+	}
+	if c.ROBSize <= 0 || c.LSQSize <= 0 || c.RSESize <= 0 {
+		return fmt.Errorf("cpusim: non-positive window sizes")
+	}
+	if c.NumALU <= 0 || c.NumMul <= 0 || c.NumFP <= 0 || c.NumLSU <= 0 {
+		return fmt.Errorf("cpusim: every functional unit class needs at least one unit")
+	}
+	if c.MispredictPenalty < 0 {
+		return fmt.Errorf("cpusim: negative mispredict penalty")
+	}
+	return nil
+}
+
+// Result holds the statistics of one simulation run.
+type Result struct {
+	// Instructions is the number of dynamic instructions simulated.
+	Instructions uint64
+	// Cycles is the number of cycles the run took.
+	Cycles uint64
+	// ClassCounts counts dynamic instructions per class.
+	ClassCounts map[isa.Class]uint64
+	// UnitOps counts operations issued per functional unit kind.
+	UnitOps map[isa.UnitKind]uint64
+	// L1I, L1D, L2 are the cache statistics of the run.
+	L1I, L1D, L2 memsim.Stats
+	// DTLB holds the data-TLB statistics (zero when the hierarchy has no TLB).
+	DTLB memsim.Stats
+	// Branch is the branch predictor statistics of the run.
+	Branch branchsim.Stats
+	// MemAccesses is the number of accesses that reached main memory
+	// (L2 demand misses), used by the power model's DRAM term.
+	MemAccesses uint64
+	// Config echoes the core configuration of the run.
+	Config Config
+}
+
+// IPC returns instructions per cycle.
+func (r Result) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Instructions) / float64(r.Cycles)
+}
+
+// CPI returns cycles per instruction.
+func (r Result) CPI() float64 {
+	if r.Instructions == 0 {
+		return 0
+	}
+	return float64(r.Cycles) / float64(r.Instructions)
+}
+
+// ClassFraction returns the dynamic fraction of the given class.
+func (r Result) ClassFraction(c isa.Class) float64 {
+	if r.Instructions == 0 {
+		return 0
+	}
+	return float64(r.ClassCounts[c]) / float64(r.Instructions)
+}
+
+// CPU ties a core configuration to its cache hierarchy and branch predictor.
+type CPU struct {
+	cfg  Config
+	mem  *memsim.Hierarchy
+	pred *branchsim.Predictor
+}
+
+// New builds a CPU. The hierarchy and predictor are owned by the CPU for the
+// duration of a run; Run resets them before simulating.
+func New(cfg Config, mem *memsim.Hierarchy, pred *branchsim.Predictor) (*CPU, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if mem == nil || pred == nil {
+		return nil, fmt.Errorf("cpusim: nil memory hierarchy or branch predictor")
+	}
+	return &CPU{cfg: cfg, mem: mem, pred: pred}, nil
+}
+
+// Config returns the core configuration.
+func (c *CPU) Config() Config { return c.cfg }
+
+// Run simulates dynInstrs dynamic instructions of the program and returns the
+// collected statistics. The seed drives the trace expander's stochastic
+// branch directions; the timing model itself is deterministic.
+func (c *CPU) Run(p *program.Program, dynInstrs int, seed int64) (Result, error) {
+	if err := p.Validate(); err != nil {
+		return Result{}, fmt.Errorf("cpusim: invalid program: %w", err)
+	}
+	if dynInstrs <= 0 {
+		return Result{}, fmt.Errorf("cpusim: non-positive dynamic instruction count %d", dynInstrs)
+	}
+	c.mem.Reset()
+	c.pred.Reset()
+
+	res := Result{
+		ClassCounts: make(map[isa.Class]uint64, isa.NumClasses),
+		UnitOps:     make(map[isa.UnitKind]uint64, isa.NumUnitKinds),
+		Config:      c.cfg,
+	}
+
+	exp := trace.NewExpander(p, seed)
+	st := newCoreState(c.cfg)
+
+	// Dense counters keep the per-instruction loop off the map hot path.
+	var classCounts [isa.NumClasses]uint64
+	var unitOps [isa.NumUnitKinds]uint64
+
+	for i := 0; i < dynInstrs; i++ {
+		entry := exp.Next()
+		in := p.Instructions[entry.Static]
+		d := isa.Describe(in.Op)
+		classCounts[d.Class]++
+		unitOps[d.Unit]++
+		c.step(st, in, d, entry)
+	}
+	for cl, n := range classCounts {
+		if n > 0 {
+			res.ClassCounts[isa.Class(cl)] = n
+		}
+	}
+	for u, n := range unitOps {
+		if n > 0 {
+			res.UnitOps[isa.UnitKind(u)] = n
+		}
+	}
+
+	res.Instructions = uint64(dynInstrs)
+	res.Cycles = st.lastRetire
+	if res.Cycles == 0 {
+		res.Cycles = 1
+	}
+	res.L1I = c.mem.L1I().Stats()
+	res.L1D = c.mem.L1D().Stats()
+	res.L2 = c.mem.L2().Stats()
+	res.DTLB = c.mem.DTLB().Stats()
+	res.Branch = c.pred.Stats()
+	res.MemAccesses = res.L2.Misses
+	return res, nil
+}
+
+// coreState is the per-run scoreboard.
+type coreState struct {
+	cfg Config
+
+	// dispatchCycle is the cycle the next instruction dispatches in;
+	// dispatched counts instructions already dispatched that cycle.
+	dispatchCycle uint64
+	dispatched    int
+
+	// fetchReady is the earliest cycle the front end can deliver the next
+	// instruction (advanced by I-cache misses and branch mispredictions).
+	fetchReady uint64
+
+	// regReady maps architectural register IDs to the cycle their latest
+	// value becomes available.
+	regReady [isa.TotalRegs]uint64
+
+	// unitFree tracks, per functional-unit kind, when each unit can accept a
+	// new operation.
+	unitFree [isa.NumUnitKinds][]uint64
+
+	// rob and lsq are ring buffers of retire/completion cycles used to model
+	// window occupancy limits.
+	rob    []uint64
+	robPos int
+	lsq    []uint64
+	lsqPos int
+	// rse models the scheduler: issue cycles of the most recent RSESize
+	// instructions; an instruction cannot dispatch before the oldest of them
+	// has issued.
+	rse    []uint64
+	rsePos int
+
+	lastRetire uint64
+	prevRetire uint64
+}
+
+func newCoreState(cfg Config) *coreState {
+	st := &coreState{cfg: cfg, dispatchCycle: 1, fetchReady: 1}
+	st.unitFree[isa.UnitALU] = make([]uint64, cfg.NumALU)
+	st.unitFree[isa.UnitMul] = make([]uint64, cfg.NumMul)
+	st.unitFree[isa.UnitFP] = make([]uint64, cfg.NumFP)
+	st.unitFree[isa.UnitLSU] = make([]uint64, cfg.NumLSU)
+	st.unitFree[isa.UnitNone] = nil
+	st.rob = make([]uint64, cfg.ROBSize)
+	st.lsq = make([]uint64, cfg.LSQSize)
+	st.rse = make([]uint64, cfg.RSESize)
+	return st
+}
+
+// step advances the scoreboard by one dynamic instruction.
+func (c *CPU) step(st *coreState, in program.Instruction, d isa.Descriptor, entry trace.Entry) {
+	cfg := st.cfg
+
+	// Front end: instruction fetch through the I-cache. A miss delays
+	// delivery of this (and following) instructions.
+	fetchLat := c.mem.AccessInstr(entry.PC)
+	if extra := fetchLat - c.mem.Config().L1I.HitLatency; extra > 0 {
+		st.fetchReady += uint64(extra)
+	}
+
+	// Dispatch: bounded by front-end width, fetch availability, and window
+	// occupancy (ROB / RSE, plus LSQ for memory operations).
+	dispatch := st.dispatchCycle
+	if st.fetchReady > dispatch {
+		dispatch = st.fetchReady
+		st.dispatchCycle = dispatch
+		st.dispatched = 0
+	}
+	if oldest := st.rob[st.robPos]; oldest > dispatch {
+		dispatch = oldest
+		st.dispatchCycle = dispatch
+		st.dispatched = 0
+	}
+	if oldest := st.rse[st.rsePos]; oldest > dispatch {
+		dispatch = oldest
+		st.dispatchCycle = dispatch
+		st.dispatched = 0
+	}
+	if d.Class == isa.ClassLoad || d.Class == isa.ClassStore {
+		if oldest := st.lsq[st.lsqPos]; oldest > dispatch {
+			dispatch = oldest
+			st.dispatchCycle = dispatch
+			st.dispatched = 0
+		}
+	}
+
+	// Issue: wait for sources and a free functional unit.
+	ready := dispatch
+	for s := 0; s < in.NumSrcs; s++ {
+		if r := st.regReady[in.Srcs[s].ID()]; r > ready {
+			ready = r
+		}
+	}
+	issue := ready
+	if units := st.unitFree[d.Unit]; len(units) > 0 {
+		best := 0
+		for u := 1; u < len(units); u++ {
+			if units[u] < units[best] {
+				best = u
+			}
+		}
+		if units[best] > issue {
+			issue = units[best]
+		}
+		// Pipelined units accept one operation per cycle; long-latency
+		// dividers block their unit for the full latency.
+		occupancy := uint64(1)
+		if in.Op == isa.DIV || in.Op == isa.FDIVD {
+			occupancy = uint64(d.Latency)
+		}
+		st.unitFree[d.Unit][best] = issue + occupancy
+	}
+
+	// Execute: latency is the opcode latency, or the cache latency for
+	// memory operations.
+	latency := uint64(d.Latency)
+	if d.Class == isa.ClassLoad || d.Class == isa.ClassStore {
+		latency = uint64(c.mem.AccessData(entry.Addr, d.Class == isa.ClassStore))
+	}
+	complete := issue + latency
+
+	// Branch resolution: a mispredicted conditional branch stalls the front
+	// end until it resolves plus the refill penalty.
+	if d.IsCondBr {
+		if c.pred.Predict(entry.PC, entry.Taken) {
+			redirect := complete + uint64(cfg.MispredictPenalty)
+			if redirect > st.fetchReady {
+				st.fetchReady = redirect
+			}
+		}
+	}
+
+	// Writeback.
+	if d.HasDest {
+		st.regReady[in.Dest.ID()] = complete
+	}
+
+	// Retire in order.
+	retire := complete
+	if st.prevRetire > retire {
+		retire = st.prevRetire
+	}
+	st.prevRetire = retire
+	st.lastRetire = retire
+
+	// Window bookkeeping.
+	st.rob[st.robPos] = retire
+	st.robPos = (st.robPos + 1) % len(st.rob)
+	st.rse[st.rsePos] = issue
+	st.rsePos = (st.rsePos + 1) % len(st.rse)
+	if d.Class == isa.ClassLoad || d.Class == isa.ClassStore {
+		st.lsq[st.lsqPos] = complete
+		st.lsqPos = (st.lsqPos + 1) % len(st.lsq)
+	}
+
+	// Advance the dispatch slot within the front-end width.
+	st.dispatched++
+	if st.dispatched >= cfg.FrontEndWidth {
+		st.dispatchCycle = dispatch + 1
+		st.dispatched = 0
+	} else {
+		st.dispatchCycle = dispatch
+	}
+}

@@ -1,0 +1,203 @@
+// Package knobs implements the abstract workload model of MicroGrad: a small
+// vector of "workload generation knobs" (the paper's Listing 1) that the
+// tuning mechanism manipulates and the code-generation back-end consumes.
+//
+// Each knob owns an ordered list of discrete values. A Config is a vector of
+// indices into those lists; both the gradient-descent and genetic-algorithm
+// tuners operate purely on index vectors, which keeps the representation
+// identical across tuning mechanisms (a requirement for the paper's GD-vs-GA
+// comparisons).
+package knobs
+
+import (
+	"fmt"
+	"sort"
+
+	"micrograd/internal/isa"
+)
+
+// Kind classifies what aspect of the generated workload a knob controls.
+type Kind uint8
+
+// Knob kinds.
+const (
+	KindInstrFraction Kind = iota // relative weight of one opcode in the instruction profile
+	KindRegDist                   // register dependency distance
+	KindMemSize                   // memory footprint (KiB)
+	KindMemStride                 // memory access stride (bytes)
+	KindMemTemp1                  // temporal locality: how many accesses repeat
+	KindMemTemp2                  // temporal locality: how often accesses repeat
+	KindBranchPattern             // fraction of randomized branch directions
+	numKinds
+)
+
+// String returns the kind name.
+func (k Kind) String() string {
+	switch k {
+	case KindInstrFraction:
+		return "instr-fraction"
+	case KindRegDist:
+		return "reg-dist"
+	case KindMemSize:
+		return "mem-size"
+	case KindMemStride:
+		return "mem-stride"
+	case KindMemTemp1:
+		return "mem-temp1"
+	case KindMemTemp2:
+		return "mem-temp2"
+	case KindBranchPattern:
+		return "branch-pattern"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Def describes a single knob: its name, the aspect it controls, and the
+// ordered list of values it may take.
+type Def struct {
+	// Name is the knob's identifier as it appears in configuration files
+	// and reports (e.g. "ADD", "REG_DIST", "MEM_SIZE").
+	Name string
+	// Kind classifies the knob.
+	Kind Kind
+	// Values is the ordered list of discrete values the knob may take.
+	Values []float64
+	// Opcode is set for KindInstrFraction knobs and names the opcode whose
+	// profile weight the knob controls.
+	Opcode isa.Opcode
+}
+
+// NumValues returns the number of discrete values the knob may take.
+func (d Def) NumValues() int { return len(d.Values) }
+
+// Value returns the knob value at index i, clamping i into range.
+func (d Def) Value(i int) float64 {
+	return d.Values[d.Clamp(i)]
+}
+
+// Clamp clamps an index into the valid range [0, NumValues).
+func (d Def) Clamp(i int) int {
+	if i < 0 {
+		return 0
+	}
+	if i >= len(d.Values) {
+		return len(d.Values) - 1
+	}
+	return i
+}
+
+// NearestIndex returns the index of the value in d closest to v.
+func (d Def) NearestIndex(v float64) int {
+	best, bestDist := 0, -1.0
+	for i, val := range d.Values {
+		dist := val - v
+		if dist < 0 {
+			dist = -dist
+		}
+		if bestDist < 0 || dist < bestDist {
+			best, bestDist = i, dist
+		}
+	}
+	return best
+}
+
+// Validate checks that the definition is well-formed: non-empty name,
+// at least two values, strictly increasing value list.
+func (d Def) Validate() error {
+	if d.Name == "" {
+		return fmt.Errorf("knobs: knob with empty name")
+	}
+	if len(d.Values) < 2 {
+		return fmt.Errorf("knobs: knob %q needs at least 2 values, has %d", d.Name, len(d.Values))
+	}
+	if !sort.Float64sAreSorted(d.Values) {
+		return fmt.Errorf("knobs: knob %q values are not sorted", d.Name)
+	}
+	for i := 1; i < len(d.Values); i++ {
+		if d.Values[i] == d.Values[i-1] {
+			return fmt.Errorf("knobs: knob %q has duplicate value %v", d.Name, d.Values[i])
+		}
+	}
+	if d.Kind == KindInstrFraction && !d.Opcode.Valid() {
+		return fmt.Errorf("knobs: instruction knob %q has invalid opcode", d.Name)
+	}
+	return nil
+}
+
+// Standard knob value ranges, straight from the paper's Listing 1.
+var (
+	instrFractionValues = []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	regDistValues       = []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	memSizeValues       = []float64{2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048} // KiB
+	memStrideValues     = []float64{8, 12, 16, 20, 24, 32, 40, 48, 56, 64}          // bytes
+	memTemp1Values      = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512}
+	memTemp2Values      = []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	branchPatternValues = []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
+)
+
+// Canonical knob names.
+const (
+	NameRegDist       = "REG_DIST"
+	NameMemSize       = "MEM_SIZE"
+	NameMemStride     = "MEM_STRIDE"
+	NameMemTemp1      = "MEM_TEMP1"
+	NameMemTemp2      = "MEM_TEMP2"
+	NameBranchPattern = "B_PATTERN"
+)
+
+// instrKnobName maps a knob opcode to its Listing-1 knob name.
+func instrKnobName(op isa.Opcode) string {
+	switch op {
+	case isa.ADD:
+		return "ADD"
+	case isa.MUL:
+		return "MUL"
+	case isa.FADDD:
+		return "FADDD"
+	case isa.FMULD:
+		return "FMULD"
+	case isa.BEQ:
+		return "BEQ"
+	case isa.BNE:
+		return "BNE"
+	case isa.LD:
+		return "LD"
+	case isa.LW:
+		return "LW"
+	case isa.SD:
+		return "SD"
+	case isa.SW:
+		return "SW"
+	default:
+		return op.String()
+	}
+}
+
+// instrFractionDefs returns the ten instruction-fraction knob definitions in
+// the paper's Listing-1 order.
+func instrFractionDefs() []Def {
+	ops := isa.KnobOpcodes()
+	defs := make([]Def, 0, len(ops))
+	for _, op := range ops {
+		defs = append(defs, Def{
+			Name:   instrKnobName(op),
+			Kind:   KindInstrFraction,
+			Values: append([]float64(nil), instrFractionValues...),
+			Opcode: op,
+		})
+	}
+	return defs
+}
+
+// nonInstrDefs returns the non-instruction knob definitions of Listing 1.
+func nonInstrDefs() []Def {
+	return []Def{
+		{Name: NameRegDist, Kind: KindRegDist, Values: append([]float64(nil), regDistValues...)},
+		{Name: NameMemSize, Kind: KindMemSize, Values: append([]float64(nil), memSizeValues...)},
+		{Name: NameMemStride, Kind: KindMemStride, Values: append([]float64(nil), memStrideValues...)},
+		{Name: NameMemTemp1, Kind: KindMemTemp1, Values: append([]float64(nil), memTemp1Values...)},
+		{Name: NameMemTemp2, Kind: KindMemTemp2, Values: append([]float64(nil), memTemp2Values...)},
+		{Name: NameBranchPattern, Kind: KindBranchPattern, Values: append([]float64(nil), branchPatternValues...)},
+	}
+}

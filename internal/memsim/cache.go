@@ -1,0 +1,330 @@
+// Package memsim implements the cache hierarchy model used by the
+// performance-simulator substrate (the Gem5 substitute): set-associative
+// L1 instruction and data caches backed by a unified L2, with LRU
+// replacement, write-allocate stores and an optional next-line prefetcher
+// (present on the paper's "Large" core configuration).
+//
+// The model is a functional hit/miss simulator with fixed per-level
+// latencies; it produces the cache hit-rate metrics the cloning use case
+// targets (IC hit rate, DC hit rate, L2 hit rate) and the access latencies
+// the out-of-order timing model consumes.
+package memsim
+
+import "fmt"
+
+// CacheConfig describes one cache level.
+type CacheConfig struct {
+	// Name identifies the cache in statistics ("L1I", "L1D", "L2").
+	Name string
+	// SizeBytes is the total capacity.
+	SizeBytes int
+	// LineBytes is the cache line size.
+	LineBytes int
+	// Assoc is the set associativity.
+	Assoc int
+	// HitLatency is the access latency in cycles on a hit.
+	HitLatency int
+	// NextLinePrefetch enables a simple next-line prefetcher that, on every
+	// demand miss, also installs the following line.
+	NextLinePrefetch bool
+}
+
+// Validate checks the configuration for consistency.
+func (c CacheConfig) Validate() error {
+	if c.SizeBytes <= 0 || c.LineBytes <= 0 || c.Assoc <= 0 {
+		return fmt.Errorf("memsim: cache %q has non-positive geometry", c.Name)
+	}
+	if c.SizeBytes%(c.LineBytes*c.Assoc) != 0 {
+		return fmt.Errorf("memsim: cache %q size %d not divisible by line*assoc", c.Name, c.SizeBytes)
+	}
+	if c.HitLatency <= 0 {
+		return fmt.Errorf("memsim: cache %q has non-positive hit latency", c.Name)
+	}
+	if (c.LineBytes & (c.LineBytes - 1)) != 0 {
+		return fmt.Errorf("memsim: cache %q line size %d not a power of two", c.Name, c.LineBytes)
+	}
+	return nil
+}
+
+// NumSets returns the number of sets implied by the geometry.
+func (c CacheConfig) NumSets() int { return c.SizeBytes / (c.LineBytes * c.Assoc) }
+
+// Stats holds per-cache access statistics.
+type Stats struct {
+	Accesses   uint64
+	Hits       uint64
+	Misses     uint64
+	Prefetches uint64
+	Writebacks uint64
+}
+
+// HitRate returns Hits/Accesses, or 1 when the cache was never accessed
+// (an untouched cache should not register as "all misses" in clone metrics).
+func (s Stats) HitRate() float64 {
+	if s.Accesses == 0 {
+		return 1
+	}
+	return float64(s.Hits) / float64(s.Accesses)
+}
+
+// MissRate returns 1 - HitRate.
+func (s Stats) MissRate() float64 { return 1 - s.HitRate() }
+
+// line is one cache line.
+type line struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	used  uint64 // LRU timestamp
+}
+
+// Cache is a single set-associative cache level.
+type Cache struct {
+	cfg   CacheConfig
+	sets  [][]line
+	clock uint64
+	stats Stats
+}
+
+// NewCache builds a cache from its configuration.
+func NewCache(cfg CacheConfig) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Cache{cfg: cfg}
+	numSets := cfg.NumSets()
+	c.sets = make([][]line, numSets)
+	backing := make([]line, numSets*cfg.Assoc)
+	for i := range c.sets {
+		c.sets[i] = backing[i*cfg.Assoc : (i+1)*cfg.Assoc]
+	}
+	return c, nil
+}
+
+// Config returns the cache configuration.
+func (c *Cache) Config() CacheConfig { return c.cfg }
+
+// Stats returns a copy of the cache statistics.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// Reset clears the cache contents and statistics.
+func (c *Cache) Reset() {
+	for s := range c.sets {
+		for w := range c.sets[s] {
+			c.sets[s][w] = line{}
+		}
+	}
+	c.clock = 0
+	c.stats = Stats{}
+}
+
+// lineAddr returns the line-aligned address.
+func (c *Cache) lineAddr(addr uint64) uint64 {
+	return addr &^ uint64(c.cfg.LineBytes-1)
+}
+
+// indexTag splits an address into set index and tag.
+func (c *Cache) indexTag(addr uint64) (int, uint64) {
+	lineNum := addr / uint64(c.cfg.LineBytes)
+	set := int(lineNum % uint64(len(c.sets)))
+	tag := lineNum / uint64(len(c.sets))
+	return set, tag
+}
+
+// Lookup probes the cache without modifying statistics; it reports whether
+// the address currently hits.
+func (c *Cache) Lookup(addr uint64) bool {
+	set, tag := c.indexTag(addr)
+	for w := range c.sets[set] {
+		if c.sets[set][w].valid && c.sets[set][w].tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Access performs a demand access. It returns true on hit. On miss the line
+// is installed (write-allocate for stores). A victim writeback is counted
+// when a dirty line is evicted.
+func (c *Cache) Access(addr uint64, write bool) bool {
+	c.stats.Accesses++
+	hit := c.touch(addr, write, true)
+	if hit {
+		c.stats.Hits++
+	} else {
+		c.stats.Misses++
+	}
+	return hit
+}
+
+// Prefetch installs the line containing addr without counting a demand
+// access. It returns true if the line was already present.
+func (c *Cache) Prefetch(addr uint64) bool {
+	present := c.touch(addr, false, false)
+	if !present {
+		c.stats.Prefetches++
+	}
+	return present
+}
+
+// touch looks up the line, updates LRU state and installs it on miss.
+func (c *Cache) touch(addr uint64, write, demand bool) bool {
+	c.clock++
+	set, tag := c.indexTag(addr)
+	ways := c.sets[set]
+	for w := range ways {
+		if ways[w].valid && ways[w].tag == tag {
+			ways[w].used = c.clock
+			if write {
+				ways[w].dirty = true
+			}
+			return true
+		}
+	}
+	// Miss: choose victim (invalid first, else LRU).
+	victim := 0
+	for w := range ways {
+		if !ways[w].valid {
+			victim = w
+			break
+		}
+		if ways[w].used < ways[victim].used {
+			victim = w
+		}
+	}
+	if ways[victim].valid && ways[victim].dirty {
+		c.stats.Writebacks++
+	}
+	ways[victim] = line{tag: tag, valid: true, dirty: write, used: c.clock}
+	_ = demand
+	return false
+}
+
+// HierarchyConfig describes a two-level hierarchy with split L1 caches and a
+// unified L2, plus an optional data TLB.
+type HierarchyConfig struct {
+	L1I CacheConfig
+	L1D CacheConfig
+	L2  CacheConfig
+	// DTLB optionally models a data TLB (zero value = disabled).
+	DTLB TLBConfig
+	// MemLatency is the additional latency of a main-memory access in cycles.
+	MemLatency int
+}
+
+// Validate checks the hierarchy configuration.
+func (h HierarchyConfig) Validate() error {
+	for _, c := range []CacheConfig{h.L1I, h.L1D, h.L2} {
+		if err := c.Validate(); err != nil {
+			return err
+		}
+	}
+	if err := h.DTLB.Validate(); err != nil {
+		return err
+	}
+	if h.MemLatency <= 0 {
+		return fmt.Errorf("memsim: non-positive memory latency %d", h.MemLatency)
+	}
+	return nil
+}
+
+// Hierarchy is the instantiated cache hierarchy.
+type Hierarchy struct {
+	cfg  HierarchyConfig
+	l1i  *Cache
+	l1d  *Cache
+	l2   *Cache
+	dtlb *TLB
+}
+
+// NewHierarchy builds the hierarchy.
+func NewHierarchy(cfg HierarchyConfig) (*Hierarchy, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	l1i, err := NewCache(cfg.L1I)
+	if err != nil {
+		return nil, err
+	}
+	l1d, err := NewCache(cfg.L1D)
+	if err != nil {
+		return nil, err
+	}
+	l2, err := NewCache(cfg.L2)
+	if err != nil {
+		return nil, err
+	}
+	dtlb, err := NewTLB(cfg.DTLB)
+	if err != nil {
+		return nil, err
+	}
+	return &Hierarchy{cfg: cfg, l1i: l1i, l1d: l1d, l2: l2, dtlb: dtlb}, nil
+}
+
+// Config returns the hierarchy configuration.
+func (h *Hierarchy) Config() HierarchyConfig { return h.cfg }
+
+// L1I, L1D and L2 expose the individual levels for statistics reporting.
+func (h *Hierarchy) L1I() *Cache { return h.l1i }
+
+// L1D returns the L1 data cache.
+func (h *Hierarchy) L1D() *Cache { return h.l1d }
+
+// L2 returns the unified second-level cache.
+func (h *Hierarchy) L2() *Cache { return h.l2 }
+
+// DTLB returns the data TLB, or nil when the hierarchy was built without one.
+func (h *Hierarchy) DTLB() *TLB { return h.dtlb }
+
+// Reset clears all levels.
+func (h *Hierarchy) Reset() {
+	h.l1i.Reset()
+	h.l1d.Reset()
+	h.l2.Reset()
+	h.dtlb.Reset()
+}
+
+// AccessData performs a data access (load or store) and returns its latency
+// in cycles.
+func (h *Hierarchy) AccessData(addr uint64, write bool) int {
+	tlbPenalty := h.dtlb.Access(addr)
+	if h.l1d.Access(addr, write) {
+		return h.cfg.L1D.HitLatency + tlbPenalty
+	}
+	latency := h.cfg.L1D.HitLatency + tlbPenalty
+	if h.l2.Access(addr, write) {
+		latency += h.cfg.L2.HitLatency
+	} else {
+		latency += h.cfg.L2.HitLatency + h.cfg.MemLatency
+	}
+	h.maybePrefetch(addr)
+	return latency
+}
+
+// AccessInstr performs an instruction fetch and returns its latency in
+// cycles.
+func (h *Hierarchy) AccessInstr(pc uint64) int {
+	if h.l1i.Access(pc, false) {
+		return h.cfg.L1I.HitLatency
+	}
+	latency := h.cfg.L1I.HitLatency
+	if h.l2.Access(pc, false) {
+		latency += h.cfg.L2.HitLatency
+	} else {
+		latency += h.cfg.L2.HitLatency + h.cfg.MemLatency
+	}
+	return latency
+}
+
+// maybePrefetch installs the next line into L2 (and L1D) when the L2 is
+// configured with a next-line prefetcher.
+func (h *Hierarchy) maybePrefetch(addr uint64) {
+	if !h.cfg.L2.NextLinePrefetch {
+		return
+	}
+	next := h.l2.lineAddr(addr) + uint64(h.cfg.L2.LineBytes)
+	h.l2.Prefetch(next)
+	if h.cfg.L1D.NextLinePrefetch {
+		h.l1d.Prefetch(next)
+	}
+}

@@ -1,0 +1,114 @@
+// Package microprobe is the code-generation back-end of MicroGrad-Go. It
+// reimplements, in Go and over the abstract ISA of internal/isa, the subset
+// of IBM's Microprobe framework that the MicroGrad paper relies on: a
+// sequence of code-synthesis passes (the paper's Listing 2) that turn an
+// abstract workload description — instruction profile, register dependency
+// distance, memory streams, branch randomization — into a concrete synthetic
+// test case (internal/program.Program).
+//
+// The package exposes the same two levels Microprobe does:
+//
+//   - a pass-level API (Builder + Pass implementations) for callers that want
+//     to assemble custom generation pipelines, and
+//   - a Synthesizer that runs the standard MicroGrad pass ordering for a knob
+//     configuration (internal/knobs.Settings), which is what the tuning
+//     mechanism uses.
+package microprobe
+
+import (
+	"fmt"
+	"math/rand"
+
+	"micrograd/internal/isa"
+	"micrograd/internal/program"
+)
+
+// Builder is the mutable state threaded through a pass pipeline. A Builder
+// owns the program being constructed plus bookkeeping that later passes need
+// (reserved registers, the instruction profile, the requested dependency
+// distance).
+type Builder struct {
+	prog *program.Program
+	rng  *rand.Rand
+
+	reserved map[int]bool // register IDs the allocator must not touch
+	profile  map[isa.Opcode]float64
+	regDist  int
+	applied  []string // names of passes applied, in order
+}
+
+// NewBuilder returns a Builder for a program with the given name. The
+// rng drives every stochastic decision made by passes (instruction
+// placement shuffling); passing a fixed seed makes generation fully
+// deterministic.
+func NewBuilder(name string, rng *rand.Rand) *Builder {
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	return &Builder{
+		prog:     program.New(name),
+		rng:      rng,
+		reserved: make(map[int]bool),
+		regDist:  1,
+	}
+}
+
+// Program returns the program under construction.
+func (b *Builder) Program() *program.Program { return b.prog }
+
+// AppliedPasses returns the names of the passes applied so far, in order.
+func (b *Builder) AppliedPasses() []string {
+	return append([]string(nil), b.applied...)
+}
+
+// ReserveRegister marks a register as unavailable to the register allocator.
+func (b *Builder) ReserveRegister(r isa.Reg) { b.reserved[r.ID()] = true }
+
+// IsReserved reports whether the register is reserved.
+func (b *Builder) IsReserved(r isa.Reg) bool { return b.reserved[r.ID()] }
+
+// Pass is one code-synthesis transformation applied to the Builder.
+// Passes are applied in order by Apply; each sees the effects of the
+// previous ones, mirroring Microprobe's pass pipeline.
+type Pass interface {
+	// Name returns a short identifier used in errors and reports.
+	Name() string
+	// Apply transforms the builder in place.
+	Apply(b *Builder) error
+}
+
+// Apply runs the passes in order, stopping at the first error.
+func (b *Builder) Apply(passes ...Pass) error {
+	for _, p := range passes {
+		if err := p.Apply(b); err != nil {
+			return fmt.Errorf("microprobe: pass %s: %w", p.Name(), err)
+		}
+		b.applied = append(b.applied, p.Name())
+	}
+	return nil
+}
+
+// availableIntRegs returns the unreserved integer registers in ascending
+// index order.
+func (b *Builder) availableIntRegs() []isa.Reg {
+	var out []isa.Reg
+	for i := 0; i < isa.NumIntRegs; i++ {
+		r := isa.IntReg(i)
+		if !b.IsReserved(r) && !r.IsZero() {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// availableFPRegs returns the unreserved floating-point registers.
+func (b *Builder) availableFPRegs() []isa.Reg {
+	var out []isa.Reg
+	for i := 0; i < isa.NumFPRegs; i++ {
+		r := isa.FPReg(i)
+		if !b.IsReserved(r) {
+			out = append(out, r)
+		}
+	}
+	return out
+}

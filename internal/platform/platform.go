@@ -1,0 +1,286 @@
+// Package platform implements MicroGrad's evaluation platforms (§III-E of
+// the paper): the boundary through which generated test cases are executed
+// and their metrics collected. The paper interfaces with Gem5, McPAT and
+// native hardware; this reproduction provides
+//
+//   - SimPlatform      — the Gem5+McPAT substitute built on internal/cpusim,
+//     internal/memsim, internal/branchsim and internal/powersim;
+//   - NativeStub       — an interface-compatible placeholder for native
+//     hardware counters, which replays canned readings (real PMU access is
+//     out of scope for this environment);
+//
+// plus the two core configurations of the paper's Table II (Small, Large).
+package platform
+
+import (
+	"fmt"
+
+	"micrograd/internal/branchsim"
+	"micrograd/internal/cpusim"
+	"micrograd/internal/isa"
+	"micrograd/internal/memsim"
+	"micrograd/internal/metrics"
+	"micrograd/internal/powersim"
+	"micrograd/internal/program"
+)
+
+// CoreKind names a core configuration.
+type CoreKind string
+
+// The two cores of the paper's Table II.
+const (
+	SmallCore CoreKind = "small"
+	LargeCore CoreKind = "large"
+)
+
+// CoreSpec bundles everything needed to instantiate an evaluation platform
+// for one core: the out-of-order core parameters, the cache hierarchy, the
+// branch predictor and the power template.
+type CoreSpec struct {
+	Kind   CoreKind
+	CPU    cpusim.Config
+	Memory memsim.HierarchyConfig
+	Branch branchsim.Config
+	Power  powersim.Coefficients
+}
+
+// Validate checks every component of the spec.
+func (s CoreSpec) Validate() error {
+	if s.Kind == "" {
+		return fmt.Errorf("platform: core spec without kind")
+	}
+	if err := s.CPU.Validate(); err != nil {
+		return err
+	}
+	if err := s.Memory.Validate(); err != nil {
+		return err
+	}
+	if err := s.Branch.Validate(); err != nil {
+		return err
+	}
+	return s.Power.Validate()
+}
+
+// Small returns the paper's "Small" core (Table II): 3-wide front end,
+// 40/16/32 ROB/LSQ/RSE, 3/2/2 ALU/SIMD/FP pipes, 16 KiB L1s, 256 KiB L2.
+func Small() CoreSpec {
+	return CoreSpec{
+		Kind: SmallCore,
+		CPU: cpusim.Config{
+			Name: string(SmallCore), FrequencyGHz: 2, FrontEndWidth: 3,
+			ROBSize: 40, LSQSize: 16, RSESize: 32,
+			NumALU: 3, NumMul: 2, NumFP: 2, NumLSU: 1,
+			MispredictPenalty: 10,
+		},
+		Memory: memsim.HierarchyConfig{
+			L1I:        memsim.CacheConfig{Name: "L1I", SizeBytes: 16 << 10, LineBytes: 64, Assoc: 4, HitLatency: 1},
+			L1D:        memsim.CacheConfig{Name: "L1D", SizeBytes: 16 << 10, LineBytes: 64, Assoc: 4, HitLatency: 2},
+			L2:         memsim.CacheConfig{Name: "L2", SizeBytes: 256 << 10, LineBytes: 64, Assoc: 8, HitLatency: 12},
+			MemLatency: 140,
+		},
+		Branch: branchsim.Config{Kind: branchsim.Bimodal, TableBits: 10},
+		Power:  powersim.SmallCoreCoefficients(),
+	}
+}
+
+// Large returns the paper's "Large" core (Table II): 8-wide front end,
+// 160/64/128 ROB/LSQ/RSE, 6/4/4 ALU/SIMD/FP pipes, 32 KiB L1s, 1 MiB L2 with
+// a next-line prefetcher.
+func Large() CoreSpec {
+	return CoreSpec{
+		Kind: LargeCore,
+		CPU: cpusim.Config{
+			Name: string(LargeCore), FrequencyGHz: 2, FrontEndWidth: 8,
+			ROBSize: 160, LSQSize: 64, RSESize: 128,
+			NumALU: 6, NumMul: 4, NumFP: 4, NumLSU: 2,
+			MispredictPenalty: 14,
+		},
+		Memory: memsim.HierarchyConfig{
+			L1I:        memsim.CacheConfig{Name: "L1I", SizeBytes: 32 << 10, LineBytes: 64, Assoc: 8, HitLatency: 1},
+			L1D:        memsim.CacheConfig{Name: "L1D", SizeBytes: 32 << 10, LineBytes: 64, Assoc: 8, HitLatency: 2},
+			L2:         memsim.CacheConfig{Name: "L2", SizeBytes: 1 << 20, LineBytes: 64, Assoc: 16, HitLatency: 14, NextLinePrefetch: true},
+			MemLatency: 140,
+		},
+		Branch: branchsim.Config{Kind: branchsim.GShare, TableBits: 14, HistoryBits: 12},
+		Power:  powersim.LargeCoreCoefficients(),
+	}
+}
+
+// ByName returns the core spec with the given name.
+func ByName(name string) (CoreSpec, error) {
+	switch CoreKind(name) {
+	case SmallCore:
+		return Small(), nil
+	case LargeCore:
+		return Large(), nil
+	default:
+		return CoreSpec{}, fmt.Errorf("platform: unknown core %q (want %q or %q)", name, SmallCore, LargeCore)
+	}
+}
+
+// Cores returns every built-in core spec.
+func Cores() []CoreSpec { return []CoreSpec{Small(), Large()} }
+
+// DefaultDynamicInstructions is the evaluation length used when the caller
+// does not specify one. The paper runs clones for 10M dynamic instructions;
+// this reproduction defaults to a shorter window so that a full tuning run
+// (thousands of evaluations) stays laptop-scale. The steady-state loop
+// behaviour is reached well before this point for 500-instruction kernels.
+const DefaultDynamicInstructions = 40000
+
+// EvalOptions controls one evaluation.
+type EvalOptions struct {
+	// DynamicInstructions is the number of dynamic instructions to simulate.
+	// Zero means DefaultDynamicInstructions.
+	DynamicInstructions int
+	// Seed drives the stochastic parts of trace expansion.
+	Seed int64
+	// CollectPower adds the dynamic power metric to the result (requires a
+	// platform with a power model).
+	CollectPower bool
+}
+
+// normalized fills in defaults.
+func (o EvalOptions) normalized() EvalOptions {
+	if o.DynamicInstructions == 0 {
+		o.DynamicInstructions = DefaultDynamicInstructions
+	}
+	return o
+}
+
+// Platform is the evaluation boundary the tuning mechanism talks to.
+// Implementations are not required to be safe for concurrent use; MicroGrad
+// evaluates candidate configurations sequentially within one tuning run.
+type Platform interface {
+	// Name identifies the platform for reports.
+	Name() string
+	// Evaluate runs the program and returns its metric vector.
+	Evaluate(p *program.Program, opts EvalOptions) (metrics.Vector, error)
+}
+
+// SimPlatform is the Gem5+McPAT substitute: a trace-driven performance
+// simulation plus an activity-based power estimate.
+type SimPlatform struct {
+	spec  CoreSpec
+	mem   *memsim.Hierarchy
+	pred  *branchsim.Predictor
+	cpu   *cpusim.CPU
+	power *powersim.Model
+	// evaluations counts Evaluate calls, for resource accounting.
+	evaluations uint64
+}
+
+// NewSimPlatform instantiates the simulator for a core spec.
+func NewSimPlatform(spec CoreSpec) (*SimPlatform, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	mem, err := memsim.NewHierarchy(spec.Memory)
+	if err != nil {
+		return nil, err
+	}
+	pred, err := branchsim.New(spec.Branch)
+	if err != nil {
+		return nil, err
+	}
+	cpu, err := cpusim.New(spec.CPU, mem, pred)
+	if err != nil {
+		return nil, err
+	}
+	power, err := powersim.New(spec.Power)
+	if err != nil {
+		return nil, err
+	}
+	return &SimPlatform{spec: spec, mem: mem, pred: pred, cpu: cpu, power: power}, nil
+}
+
+// Name implements Platform.
+func (s *SimPlatform) Name() string {
+	return fmt.Sprintf("sim-%s", s.spec.Kind)
+}
+
+// Spec returns the platform's core specification.
+func (s *SimPlatform) Spec() CoreSpec { return s.spec }
+
+// Evaluations returns the number of Evaluate calls served so far.
+func (s *SimPlatform) Evaluations() uint64 { return s.evaluations }
+
+// Evaluate implements Platform.
+func (s *SimPlatform) Evaluate(p *program.Program, opts EvalOptions) (metrics.Vector, error) {
+	opts = opts.normalized()
+	res, err := s.cpu.Run(p, opts.DynamicInstructions, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	s.evaluations++
+	v := ResultVector(res)
+	if opts.CollectPower {
+		v[metrics.DynamicPowerW] = s.power.DynamicPower(res)
+	}
+	return v, nil
+}
+
+// EvaluateDetailed runs the program and returns both the metric vector and
+// the raw simulation result (used by reporting tools that need the full
+// statistics, e.g. the power-virus instruction distribution of Table III).
+func (s *SimPlatform) EvaluateDetailed(p *program.Program, opts EvalOptions) (metrics.Vector, cpusim.Result, error) {
+	opts = opts.normalized()
+	res, err := s.cpu.Run(p, opts.DynamicInstructions, opts.Seed)
+	if err != nil {
+		return nil, cpusim.Result{}, err
+	}
+	s.evaluations++
+	v := ResultVector(res)
+	if opts.CollectPower {
+		v[metrics.DynamicPowerW] = s.power.DynamicPower(res)
+	}
+	return v, res, nil
+}
+
+// ResultVector converts a raw simulation result into the standard metric
+// vector.
+func ResultVector(res cpusim.Result) metrics.Vector {
+	v := metrics.Vector{
+		metrics.IPC:                  res.IPC(),
+		metrics.CPI:                  res.CPI(),
+		metrics.Instructions:         float64(res.Instructions),
+		metrics.Cycles:               float64(res.Cycles),
+		metrics.FracInteger:          res.ClassFraction(isa.ClassInteger),
+		metrics.FracFloat:            res.ClassFraction(isa.ClassFloat),
+		metrics.FracLoad:             res.ClassFraction(isa.ClassLoad),
+		metrics.FracStore:            res.ClassFraction(isa.ClassStore),
+		metrics.FracBranch:           res.ClassFraction(isa.ClassBranch),
+		metrics.BranchMispredictRate: res.Branch.MispredictRate(),
+		metrics.L1IHitRate:           res.L1I.HitRate(),
+		metrics.L1DHitRate:           res.L1D.HitRate(),
+		metrics.L2HitRate:            res.L2.HitRate(),
+	}
+	if res.DTLB.Accesses > 0 {
+		v[metrics.DTLBMissRate] = res.DTLB.MissRate()
+	}
+	return v
+}
+
+// NativeStub is an interface-compatible stand-in for the paper's
+// native-hardware back-end. Real hardware-counter access is not available in
+// this environment, so the stub replays a canned metric vector; it exists to
+// demonstrate (and test) that the framework boundary supports non-simulated
+// platforms.
+type NativeStub struct {
+	// Canned is the metric vector returned by every evaluation.
+	Canned metrics.Vector
+}
+
+// Name implements Platform.
+func (NativeStub) Name() string { return "native-stub" }
+
+// Evaluate implements Platform.
+func (n NativeStub) Evaluate(p *program.Program, opts EvalOptions) (metrics.Vector, error) {
+	if p == nil || p.StaticCount() == 0 {
+		return nil, fmt.Errorf("platform: native stub needs a non-empty program")
+	}
+	if len(n.Canned) == 0 {
+		return nil, fmt.Errorf("platform: native stub has no canned metrics configured")
+	}
+	return n.Canned.Clone(), nil
+}

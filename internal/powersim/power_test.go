@@ -1,0 +1,155 @@
+package powersim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"micrograd/internal/cpusim"
+	"micrograd/internal/isa"
+)
+
+// fakeResult builds a cpusim.Result without running the simulator.
+func fakeResult(instr, cycles uint64, mix map[isa.Class]float64) cpusim.Result {
+	counts := make(map[isa.Class]uint64, len(mix))
+	for c, f := range mix {
+		counts[c] = uint64(f * float64(instr))
+	}
+	return cpusim.Result{
+		Instructions: instr,
+		Cycles:       cycles,
+		ClassCounts:  counts,
+		Config:       cpusim.Config{Name: "large", FrequencyGHz: 2},
+	}
+}
+
+func TestCoefficientValidation(t *testing.T) {
+	if err := LargeCoreCoefficients().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := SmallCoreCoefficients().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := LargeCoreCoefficients()
+	bad.FrontEndPJ = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative coefficient should be rejected")
+	}
+	bad2 := LargeCoreCoefficients()
+	bad2.ClassPJ = nil
+	if _, err := New(bad2); err == nil {
+		t.Error("missing class energies should be rejected")
+	}
+	bad3 := LargeCoreCoefficients()
+	bad3.ClassPJ[isa.ClassFloat] = -5
+	if err := bad3.Validate(); err == nil {
+		t.Error("negative class energy should be rejected")
+	}
+}
+
+func TestPowerIncreasesWithIPC(t *testing.T) {
+	m, err := New(LargeCoreCoefficients())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mix := map[isa.Class]float64{isa.ClassInteger: 0.5, isa.ClassLoad: 0.3, isa.ClassStore: 0.2}
+	slow := fakeResult(10000, 20000, mix) // IPC 0.5
+	fast := fakeResult(10000, 4000, mix)  // IPC 2.5
+	if m.DynamicPower(fast) <= m.DynamicPower(slow) {
+		t.Error("higher IPC should yield higher dynamic power")
+	}
+}
+
+func TestPowerIncreasesWithExpensiveMix(t *testing.T) {
+	m, _ := New(LargeCoreCoefficients())
+	intMix := fakeResult(10000, 5000, map[isa.Class]float64{isa.ClassInteger: 1})
+	fpMemMix := fakeResult(10000, 5000, map[isa.Class]float64{
+		isa.ClassFloat: 0.4, isa.ClassLoad: 0.3, isa.ClassStore: 0.3})
+	if m.DynamicPower(fpMemMix) <= m.DynamicPower(intMix) {
+		t.Error("FP/memory-heavy mix should consume more power than integer mix at equal IPC")
+	}
+}
+
+func TestLargeCoreConsumesMoreThanSmall(t *testing.T) {
+	large, _ := New(LargeCoreCoefficients())
+	small, _ := New(SmallCoreCoefficients())
+	r := fakeResult(10000, 5000, map[isa.Class]float64{isa.ClassInteger: 0.6, isa.ClassLoad: 0.4})
+	if large.DynamicPower(r) <= small.DynamicPower(r) {
+		t.Error("large-core template should consume more power for the same activity")
+	}
+}
+
+func TestPowerPlausibleRangeForLargeCore(t *testing.T) {
+	// A power-virus-like run: IPC 3, memory/FP heavy mix on the large core.
+	m, _ := New(LargeCoreCoefficients())
+	r := fakeResult(30000, 10000, map[isa.Class]float64{
+		isa.ClassInteger: 0.06, isa.ClassFloat: 0.23, isa.ClassBranch: 0.14,
+		isa.ClassLoad: 0.23, isa.ClassStore: 0.34,
+	})
+	p := m.DynamicPower(r)
+	if p < 1.0 || p > 3.5 {
+		t.Errorf("power-virus-like run gives %.2f W; expected the paper's neighbourhood (1-3.5 W)", p)
+	}
+}
+
+func TestBreakdownConsistency(t *testing.T) {
+	m, _ := New(LargeCoreCoefficients())
+	r := fakeResult(10000, 5000, map[isa.Class]float64{isa.ClassInteger: 0.5, isa.ClassLoad: 0.5})
+	r.MemAccesses = 100
+	r.Branch.Mispredicts = 50
+	r.L2.Accesses = 400
+	b := m.EnergyBreakdown(r)
+	sum := 0.0
+	for _, e := range b.Components {
+		sum += e
+	}
+	if math.Abs(sum-b.TotalPJ) > 1e-6 {
+		t.Errorf("component sum %v != total %v", sum, b.TotalPJ)
+	}
+	for _, name := range []string{"frontend", "execute", "l2", "memory", "mispredict", "clock"} {
+		if _, ok := b.Components[name]; !ok {
+			t.Errorf("breakdown missing component %q", name)
+		}
+	}
+	if b.String() == "" {
+		t.Error("breakdown String empty")
+	}
+	if p := b.PowerW(); p <= 0 {
+		t.Errorf("PowerW = %v", p)
+	}
+	empty := Breakdown{}
+	if empty.PowerW() != 0 {
+		t.Error("empty breakdown should have zero power")
+	}
+}
+
+func TestUnknownClassFallsBackToInteger(t *testing.T) {
+	coeff := LargeCoreCoefficients()
+	delete(coeff.ClassPJ, isa.ClassNop)
+	m, err := New(coeff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := fakeResult(1000, 500, map[isa.Class]float64{isa.ClassNop: 1})
+	if m.DynamicPower(r) <= 0 {
+		t.Error("missing class coefficient should fall back, not zero out")
+	}
+}
+
+// Property: dynamic power is non-negative and scales linearly with frequency.
+func TestPropertyPowerScalesWithFrequency(t *testing.T) {
+	m, _ := New(LargeCoreCoefficients())
+	f := func(instr uint16, cyc uint16) bool {
+		i := uint64(instr)%20000 + 1000
+		c := uint64(cyc)%20000 + 1000
+		r := fakeResult(i, c, map[isa.Class]float64{isa.ClassInteger: 0.7, isa.ClassLoad: 0.3})
+		r.Config.FrequencyGHz = 2
+		p2 := m.DynamicPower(r)
+		r.Config.FrequencyGHz = 4
+		p4 := m.DynamicPower(r)
+		return p2 >= 0 && math.Abs(p4-2*p2) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

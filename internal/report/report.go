@@ -1,0 +1,256 @@
+// Package report renders MicroGrad results — cloning accuracy radars, stress
+// progression curves, configuration tables — as plain-text tables and CSV,
+// which is how this reproduction regenerates the paper's tables and figures.
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Table is a simple column-aligned text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; short rows are padded with empty cells.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.Headers))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// WriteCSV renders the table as CSV (headers first). Cells containing commas
+// or quotes are quoted.
+func (t *Table) WriteCSV(w io.Writer) error {
+	writeLine := func(cells []string) error {
+		escaped := make([]string, len(cells))
+		for i, c := range cells {
+			if strings.ContainsAny(c, ",\"\n") {
+				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+			}
+			escaped[i] = c
+		}
+		_, err := fmt.Fprintln(w, strings.Join(escaped, ","))
+		return err
+	}
+	if err := writeLine(t.Headers); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := writeLine(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Series is a named sequence of (x, y) points, used for the epoch-progression
+// figures (Figs. 5-6).
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// AddPoint appends one point.
+func (s *Series) AddPoint(x, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// SeriesCSV renders several series as a long-format CSV
+// (series,x,y — one row per point).
+func SeriesCSV(w io.Writer, series ...Series) error {
+	if _, err := fmt.Fprintln(w, "series,x,y"); err != nil {
+		return err
+	}
+	for _, s := range series {
+		for i := range s.X {
+			if _, err := fmt.Fprintf(w, "%s,%g,%g\n", s.Name, s.X[i], s.Y[i]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// AsciiChart renders multiple series as a coarse ASCII line chart; it gives a
+// quick visual of the Figs. 5-6 progression without any plotting dependency.
+func AsciiChart(title string, width, height int, series ...Series) string {
+	if width < 10 {
+		width = 10
+	}
+	if height < 4 {
+		height = 4
+	}
+	minX, maxX, minY, maxY := rangeOf(series)
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	marks := []byte{'*', 'o', '+', 'x', '#'}
+	for si, s := range series {
+		mark := marks[si%len(marks)]
+		for i := range s.X {
+			col := int(float64(width-1) * (s.X[i] - minX) / (maxX - minX))
+			row := height - 1 - int(float64(height-1)*(s.Y[i]-minY)/(maxY-minY))
+			if row >= 0 && row < height && col >= 0 && col < width {
+				grid[row][col] = mark
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s  (y: %.3g..%.3g, x: %g..%g)\n", title, minY, maxY, minX, maxX)
+	for si, s := range series {
+		fmt.Fprintf(&b, "  %c = %s\n", marks[si%len(marks)], s.Name)
+	}
+	for _, row := range grid {
+		b.WriteString("|")
+		b.Write(row)
+		b.WriteString("|\n")
+	}
+	return b.String()
+}
+
+// rangeOf returns the bounding box of all points.
+func rangeOf(series []Series) (minX, maxX, minY, maxY float64) {
+	first := true
+	for _, s := range series {
+		for i := range s.X {
+			if first {
+				minX, maxX, minY, maxY = s.X[i], s.X[i], s.Y[i], s.Y[i]
+				first = false
+				continue
+			}
+			if s.X[i] < minX {
+				minX = s.X[i]
+			}
+			if s.X[i] > maxX {
+				maxX = s.X[i]
+			}
+			if s.Y[i] < minY {
+				minY = s.Y[i]
+			}
+			if s.Y[i] > maxY {
+				maxY = s.Y[i]
+			}
+		}
+	}
+	return minX, maxX, minY, maxY
+}
+
+// RadarTable renders per-benchmark, per-metric accuracy ratios (the data
+// behind the paper's radar plots, Figs. 2-4) as a table with one row per
+// benchmark and one column per metric.
+func RadarTable(title string, metricNames []string, accuracy map[string]map[string]float64, epochs map[string]int) *Table {
+	headers := append([]string{"benchmark"}, metricNames...)
+	headers = append(headers, "mean_err", "epochs")
+	t := NewTable(title, headers...)
+
+	names := make([]string, 0, len(accuracy))
+	for n := range accuracy {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, bench := range names {
+		ratios := accuracy[bench]
+		row := []string{bench}
+		sumErr, n := 0.0, 0
+		for _, m := range metricNames {
+			r, ok := ratios[m]
+			if !ok {
+				row = append(row, "-")
+				continue
+			}
+			row = append(row, fmt.Sprintf("%.3f", r))
+			err := r - 1
+			if err < 0 {
+				err = -err
+			}
+			sumErr += err
+			n++
+		}
+		meanErr := 0.0
+		if n > 0 {
+			meanErr = sumErr / float64(n)
+		}
+		row = append(row, fmt.Sprintf("%.1f%%", meanErr*100))
+		row = append(row, fmt.Sprintf("%d", epochs[bench]))
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// MeanAbsError returns the mean |ratio-1| across a per-metric accuracy map.
+func MeanAbsError(ratios map[string]float64) float64 {
+	if len(ratios) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, r := range ratios {
+		err := r - 1
+		if err < 0 {
+			err = -err
+		}
+		sum += err
+	}
+	return sum / float64(len(ratios))
+}

@@ -1,0 +1,119 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("My table", "name", "value")
+	tb.AddRow("alpha", "1")
+	tb.AddRow("beta") // short row gets padded
+	out := tb.String()
+	if !strings.Contains(out, "My table") || !strings.Contains(out, "alpha") {
+		t.Errorf("table output missing content:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// title + header + separator + 2 rows
+	if len(lines) != 5 {
+		t.Errorf("expected 5 lines, got %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[2], "---") {
+		t.Error("missing separator line")
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.AddRow("x,y", `quote"inside`)
+	tb.AddRow("plain", "2")
+	var buf bytes.Buffer
+	if err := tb.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `"x,y"`) {
+		t.Errorf("comma cell not quoted: %s", out)
+	}
+	if !strings.Contains(out, `"quote""inside"`) {
+		t.Errorf("quote cell not escaped: %s", out)
+	}
+	if !strings.HasPrefix(out, "a,b\n") {
+		t.Errorf("header missing: %s", out)
+	}
+}
+
+func TestSeriesCSV(t *testing.T) {
+	s1 := Series{Name: "GD"}
+	s1.AddPoint(1, 2.5)
+	s1.AddPoint(2, 2.0)
+	s2 := Series{Name: "GA"}
+	s2.AddPoint(1, 3.0)
+	var buf bytes.Buffer
+	if err := SeriesCSV(&buf, s1, s2); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "GD,1,2.5") || !strings.Contains(out, "GA,1,3") {
+		t.Errorf("series CSV missing points:\n%s", out)
+	}
+	if !strings.HasPrefix(out, "series,x,y\n") {
+		t.Error("missing header")
+	}
+}
+
+func TestAsciiChart(t *testing.T) {
+	s := Series{Name: "GD"}
+	for i := 1; i <= 10; i++ {
+		s.AddPoint(float64(i), float64(10-i))
+	}
+	ref := Series{Name: "ref"}
+	ref.AddPoint(1, 1)
+	ref.AddPoint(10, 1)
+	out := AsciiChart("perf", 40, 10, s, ref)
+	if !strings.Contains(out, "perf") || !strings.Contains(out, "GD") {
+		t.Errorf("chart missing legend:\n%s", out)
+	}
+	if !strings.Contains(out, "*") {
+		t.Error("chart has no plotted points")
+	}
+	// Degenerate inputs should not panic.
+	_ = AsciiChart("empty", 5, 2)
+	single := Series{Name: "one"}
+	single.AddPoint(1, 1)
+	_ = AsciiChart("single", 20, 5, single)
+}
+
+func TestRadarTable(t *testing.T) {
+	acc := map[string]map[string]float64{
+		"mcf":   {"ipc": 1.02, "l1d_hit_rate": 0.99},
+		"astar": {"ipc": 0.95, "l1d_hit_rate": 1.10},
+	}
+	epochs := map[string]int{"mcf": 21, "astar": 10}
+	tb := RadarTable("Fig 2", []string{"ipc", "l1d_hit_rate", "missing"}, acc, epochs)
+	out := tb.String()
+	if !strings.Contains(out, "mcf") || !strings.Contains(out, "astar") {
+		t.Errorf("radar table missing benchmarks:\n%s", out)
+	}
+	if !strings.Contains(out, "21") {
+		t.Error("epochs column missing")
+	}
+	if !strings.Contains(out, "-") {
+		t.Error("missing metric should render as '-'")
+	}
+	// Rows must be sorted by benchmark name for determinism.
+	if strings.Index(out, "astar") > strings.Index(out, "mcf") {
+		t.Error("rows not sorted")
+	}
+}
+
+func TestMeanAbsError(t *testing.T) {
+	if MeanAbsError(nil) != 0 {
+		t.Error("empty map should give 0")
+	}
+	got := MeanAbsError(map[string]float64{"a": 1.1, "b": 0.9})
+	if got < 0.099 || got > 0.101 {
+		t.Errorf("MeanAbsError = %v, want 0.1", got)
+	}
+}

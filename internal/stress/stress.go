@@ -1,0 +1,233 @@
+// Package stress implements MicroGrad's Stress Testing use case: tune the
+// knob configuration so that the generated workload drives a chosen metric
+// to its worst case — minimum IPC for a performance virus, maximum dynamic
+// power for a power virus.
+package stress
+
+import (
+	"context"
+	"fmt"
+
+	"micrograd/internal/isa"
+	"micrograd/internal/knobs"
+	"micrograd/internal/metrics"
+	"micrograd/internal/microprobe"
+	"micrograd/internal/platform"
+	"micrograd/internal/program"
+	"micrograd/internal/tuner"
+)
+
+// Kind selects the stress-test goal.
+type Kind string
+
+// Built-in stress test kinds.
+const (
+	// PerfVirus minimizes IPC (the paper's Fig. 5 "worst case performance").
+	PerfVirus Kind = "perf-virus"
+	// PowerVirus maximizes dynamic power (the paper's Fig. 6).
+	PowerVirus Kind = "power-virus"
+)
+
+// DefaultMaxEpochs bounds stress tuning runs; the paper's stress tests
+// converge within 25-45 epochs.
+const DefaultMaxEpochs = 45
+
+// Options configures a stress-testing run.
+type Options struct {
+	// Space is the knob space; nil selects the space the paper uses for the
+	// kind (instruction fractions only for the performance virus,
+	// instruction fractions + dependency distance for the power virus).
+	Space *knobs.Space
+	// Tuner is the tuning mechanism; nil means gradient descent.
+	Tuner tuner.Tuner
+	// Platform is the evaluation platform. Power-virus runs require a
+	// platform that can produce the dynamic power metric
+	// (platform.SimPlatform with CollectPower).
+	Platform platform.Platform
+	// EvalOptions controls each evaluation. CollectPower is forced on for
+	// power-virus runs.
+	EvalOptions platform.EvalOptions
+	// LoopSize is the stress kernel's static size; zero means the generator
+	// default (≈500).
+	LoopSize int
+	// Seed drives stochastic choices.
+	Seed int64
+	// MaxEpochs bounds tuning; zero means DefaultMaxEpochs.
+	MaxEpochs int
+	// Metric overrides the stressed metric (default: IPC or dynamic power
+	// depending on Kind). Maximize selects the direction for custom metrics.
+	Metric   string
+	Maximize bool
+}
+
+// goal returns the metric and direction for a kind.
+func (o Options) goal(kind Kind) (string, bool, error) {
+	if o.Metric != "" {
+		return o.Metric, o.Maximize, nil
+	}
+	switch kind {
+	case PerfVirus:
+		return metrics.IPC, false, nil
+	case PowerVirus:
+		return metrics.DynamicPowerW, true, nil
+	default:
+		return "", false, fmt.Errorf("stress: unknown kind %q and no explicit metric", kind)
+	}
+}
+
+// normalized fills in defaults for a kind.
+func (o Options) normalized(kind Kind) Options {
+	if o.Space == nil {
+		if kind == PowerVirus {
+			o.Space = knobs.StressSpace()
+		} else {
+			o.Space = knobs.InstructionOnlySpace()
+		}
+	}
+	if o.Tuner == nil {
+		o.Tuner = tuner.NewGradientDescent(tuner.GDParams{})
+	}
+	if o.MaxEpochs <= 0 {
+		o.MaxEpochs = DefaultMaxEpochs
+	}
+	return o
+}
+
+// EpochPoint is one point of the stress progression curve (the paper's
+// Figs. 5 and 6 series).
+type EpochPoint struct {
+	// Epoch is the 1-based tuning epoch.
+	Epoch int
+	// BestValue is the best (worst-case) metric value found so far.
+	BestValue float64
+	// Evaluations is the number of platform evaluations spent in the epoch.
+	Evaluations int
+}
+
+// Report is the outcome of one stress-testing run.
+type Report struct {
+	// Kind and Metric describe the goal.
+	Kind     Kind
+	Metric   string
+	Maximize bool
+	// BestValue is the worst-case metric value achieved.
+	BestValue float64
+	// BestMetrics is the full metric vector of the stress test.
+	BestMetrics metrics.Vector
+	// Progression is the per-epoch best value (Figs. 5-6 series).
+	Progression []EpochPoint
+	// InstrMix is the dynamic instruction-class distribution of the stress
+	// test (the paper's Table III).
+	InstrMix map[isa.Class]float64
+	// RegDist is the register dependency distance chosen by the stress test
+	// (the paper reports the power virus drives it to the maximum).
+	RegDist int
+	// Config is the best knob configuration.
+	Config knobs.Config
+	// Program is the generated stress kernel.
+	Program *program.Program
+	// Epochs and Evaluations account for the tuning cost.
+	Epochs      int
+	Evaluations int
+	Converged   bool
+	// TunerResult carries the raw tuning output.
+	TunerResult tuner.Result
+}
+
+// Run generates a stress test of the given kind.
+func Run(ctx context.Context, kind Kind, opts Options) (Report, error) {
+	metric, maximize, err := opts.goal(kind)
+	if err != nil {
+		return Report{}, err
+	}
+	opts = opts.normalized(kind)
+	if opts.Platform == nil {
+		return Report{}, fmt.Errorf("stress: no evaluation platform configured")
+	}
+	evalOpts := opts.EvalOptions
+	if metric == metrics.DynamicPowerW {
+		evalOpts.CollectPower = true
+	}
+
+	syn := microprobe.NewSynthesizer(microprobe.Options{LoopSize: opts.LoopSize, Seed: opts.Seed})
+	counting := tuner.NewCountingEvaluator(tuner.EvaluatorFunc(func(cfg knobs.Config) (metrics.Vector, error) {
+		p, err := syn.Synthesize(string(kind), cfg)
+		if err != nil {
+			return nil, err
+		}
+		return opts.Platform.Evaluate(p, evalOpts)
+	}))
+	memo := tuner.NewMemoizingEvaluator(counting)
+
+	prob := tuner.Problem{
+		Space:      opts.Space,
+		Loss:       metrics.StressLoss{Metric: metric, Maximize: maximize},
+		Evaluator:  memo,
+		MaxEpochs:  opts.MaxEpochs,
+		TargetLoss: tuner.NoTargetLoss,
+		Seed:       opts.Seed,
+	}
+	res, err := opts.Tuner.Run(ctx, prob)
+	if err != nil {
+		return Report{}, fmt.Errorf("stress: tuning %s: %w", kind, err)
+	}
+	if res.Best.IsZero() {
+		return Report{}, fmt.Errorf("stress: tuner produced no configuration for %s", kind)
+	}
+
+	prog, err := syn.Synthesize(string(kind), res.Best)
+	if err != nil {
+		return Report{}, fmt.Errorf("stress: regenerating %s kernel: %w", kind, err)
+	}
+	prog.Meta["use_case"] = "stress-testing"
+	prog.Meta["stress_metric"] = metric
+	prog.Meta["tuner"] = res.Tuner
+
+	rep := Report{
+		Kind:        kind,
+		Metric:      metric,
+		Maximize:    maximize,
+		BestValue:   lossToValue(res.BestLoss, maximize),
+		BestMetrics: res.BestMetrics.Clone(),
+		InstrMix:    mixFromMetrics(res.BestMetrics),
+		Config:      res.Best,
+		Program:     prog,
+		Epochs:      len(res.Epochs),
+		Evaluations: counting.Count(),
+		Converged:   res.Converged,
+		TunerResult: res,
+	}
+	if rd, ok := res.Best.ValueByName(knobs.NameRegDist); ok {
+		rep.RegDist = int(rd)
+	} else {
+		rep.RegDist = res.Best.Settings().RegDist
+	}
+	for _, er := range res.Epochs {
+		rep.Progression = append(rep.Progression, EpochPoint{
+			Epoch:       er.Epoch,
+			BestValue:   lossToValue(er.BestLoss, maximize),
+			Evaluations: er.Evaluations,
+		})
+	}
+	return rep, nil
+}
+
+// lossToValue converts a stress loss back into the metric value.
+func lossToValue(loss float64, maximize bool) float64 {
+	if maximize {
+		return -loss
+	}
+	return loss
+}
+
+// mixFromMetrics extracts the dynamic instruction-class distribution from a
+// metric vector.
+func mixFromMetrics(v metrics.Vector) map[isa.Class]float64 {
+	return map[isa.Class]float64{
+		isa.ClassInteger: v[metrics.FracInteger],
+		isa.ClassFloat:   v[metrics.FracFloat],
+		isa.ClassBranch:  v[metrics.FracBranch],
+		isa.ClassLoad:    v[metrics.FracLoad],
+		isa.ClassStore:   v[metrics.FracStore],
+	}
+}

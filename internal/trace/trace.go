@@ -1,0 +1,167 @@
+// Package trace expands a static synthetic program (internal/program) into a
+// dynamic instruction stream: the sequence of executed instructions with
+// concrete memory addresses and branch directions. The timing
+// (internal/cpusim), cache (internal/memsim) and branch-prediction
+// (internal/branchsim) models all consume this stream.
+//
+// Expansion is deterministic given (program, seed): every stochastic choice
+// (randomized branch directions) is drawn from a rand.Rand owned by the
+// expander.
+package trace
+
+import (
+	"math/rand"
+
+	"micrograd/internal/program"
+)
+
+// Entry is one dynamic instruction instance.
+type Entry struct {
+	// Static is the index of the instruction in Program.Instructions.
+	Static int
+	// PC is the instruction's virtual address.
+	PC uint64
+	// Addr is the data address accessed, valid only for memory instructions.
+	Addr uint64
+	// Bytes is the data access width in bytes (0 for non-memory).
+	Bytes int
+	// Taken is the branch direction, valid only for branches.
+	Taken bool
+}
+
+// streamState tracks the address-generation state of one memory stream.
+type streamState struct {
+	stream program.MemoryStream
+	offset int      // next fresh offset within the footprint
+	fresh  int      // fresh accesses emitted in the current period
+	replay int      // replayed accesses emitted in the current replay burst
+	window []uint64 // recently issued fresh addresses (capacity Temp1)
+	wpos   int
+}
+
+// next returns the next address for the stream, honouring stride, footprint
+// wrap-around and temporal re-use: after Temp2 fresh strided accesses the
+// stream replays the last Temp1 addresses before continuing. Re-use is only
+// engaged for Temp1 >= 2 — a window of a single address would degenerate
+// into alternating fresh/replay and make a pure streaming pattern
+// unreachable from the knob space.
+func (s *streamState) next() uint64 {
+	st := s.stream
+	// Replay phase: re-issue recorded addresses.
+	if st.Temp1 >= 2 && s.fresh >= st.Temp2 && len(s.window) > 0 && s.replay < st.Temp1 {
+		addr := s.window[s.replay%len(s.window)]
+		s.replay++
+		if s.replay >= st.Temp1 {
+			s.fresh = 0
+			s.replay = 0
+		}
+		return addr
+	}
+	// Fresh phase: strided access.
+	addr := st.Base + uint64(s.offset)
+	s.offset += st.StrideBytes
+	if s.offset >= st.FootprintBytes {
+		s.offset = 0
+	}
+	s.fresh++
+	if st.Temp1 > 0 {
+		if len(s.window) < st.Temp1 && len(s.window) < 1024 {
+			s.window = append(s.window, addr)
+		} else if len(s.window) > 0 {
+			s.window[s.wpos%len(s.window)] = addr
+			s.wpos++
+		}
+	}
+	return addr
+}
+
+// patternState tracks the direction-generation state of one branch pattern.
+type patternState struct {
+	pattern program.BranchPattern
+	count   int
+}
+
+// next returns the next direction for the pattern.
+func (p *patternState) next(rng *rand.Rand) bool {
+	defer func() { p.count++ }()
+	if p.pattern.RandomRatio > 0 && rng.Float64() < p.pattern.RandomRatio {
+		return rng.Float64() < p.pattern.TakenBias
+	}
+	// Deterministic duty-cycle pattern: taken for the first
+	// TakenBias*Period slots of each period.
+	period := p.pattern.Period
+	if period <= 0 {
+		period = 1
+	}
+	phase := p.count % period
+	return float64(phase) < p.pattern.TakenBias*float64(period)
+}
+
+// Expander produces the dynamic instruction stream of a program.
+type Expander struct {
+	prog     *program.Program
+	rng      *rand.Rand
+	streams  []streamState
+	patterns []patternState
+	pos      int
+	count    uint64
+}
+
+// NewExpander returns an expander positioned at the first instruction.
+func NewExpander(p *program.Program, seed int64) *Expander {
+	e := &Expander{
+		prog: p,
+		rng:  rand.New(rand.NewSource(seed)),
+	}
+	e.streams = make([]streamState, len(p.Streams))
+	for i, s := range p.Streams {
+		e.streams[i] = streamState{stream: s}
+	}
+	e.patterns = make([]patternState, len(p.Patterns))
+	for i, b := range p.Patterns {
+		e.patterns[i] = patternState{pattern: b}
+	}
+	return e
+}
+
+// Count returns the number of dynamic instructions produced so far.
+func (e *Expander) Count() uint64 { return e.count }
+
+// Next returns the next dynamic instruction. The program loops endlessly, so
+// Next never runs out.
+func (e *Expander) Next() Entry {
+	in := e.prog.Instructions[e.pos]
+	entry := Entry{
+		Static: e.pos,
+		PC:     e.prog.PC(e.pos),
+	}
+	switch {
+	case in.IsMemory():
+		entry.Addr = e.streams[in.Stream].next()
+		entry.Bytes = in.Op.MemBytes()
+	case in.Op.IsBranch():
+		if e.pos == len(e.prog.Instructions)-1 {
+			entry.Taken = true // loop-closing back edge
+		} else if in.IsCondBranch() && in.Pattern >= 0 && in.Pattern < len(e.patterns) {
+			entry.Taken = e.patterns[in.Pattern].next(e.rng)
+		}
+	}
+	e.pos++
+	if e.pos >= len(e.prog.Instructions) {
+		e.pos = 0
+	}
+	e.count++
+	return entry
+}
+
+// Expand returns the first n dynamic instructions of the program as a slice.
+// It is a convenience wrapper for tests and small experiments; the simulator
+// streams entries via Next to avoid materializing long traces.
+func Expand(p *program.Program, seed int64, n int) []Entry {
+	e := NewExpander(p, seed)
+	out := make([]Entry, n)
+	for i := 0; i < n; i++ {
+		out[i] = e.Next()
+	}
+	return out
+}

@@ -1,0 +1,226 @@
+package tuner
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"micrograd/internal/knobs"
+)
+
+// BruteForceParams configures the brute-force reference search used to
+// establish the "optimal worst case" lines of the paper's Figs. 5-6.
+type BruteForceParams struct {
+	// MaxEvaluations caps the total number of configurations evaluated. When
+	// the full space fits within the cap it is enumerated exhaustively;
+	// otherwise the search enumerates a regular lattice (every knob
+	// restricted to a coarse subset of its indices, always including the
+	// extremes) and spends the remaining budget on uniform random sampling.
+	MaxEvaluations int
+	// LatticePointsPerKnob is the number of indices kept per knob when the
+	// full space does not fit in the budget (extremes always included).
+	LatticePointsPerKnob int
+	// ReportEvery groups the progression into pseudo-epochs of this many
+	// evaluations so the result can be plotted against the tuners' epochs.
+	ReportEvery int
+}
+
+// DefaultBruteForceParams returns a budget suitable for the built-in spaces.
+func DefaultBruteForceParams() BruteForceParams {
+	return BruteForceParams{
+		MaxEvaluations:       4096,
+		LatticePointsPerKnob: 2,
+		ReportEvery:          256,
+	}
+}
+
+// normalized fills zero fields with defaults.
+func (p BruteForceParams) normalized() BruteForceParams {
+	d := DefaultBruteForceParams()
+	if p.MaxEvaluations <= 0 {
+		p.MaxEvaluations = d.MaxEvaluations
+	}
+	if p.LatticePointsPerKnob < 2 {
+		p.LatticePointsPerKnob = d.LatticePointsPerKnob
+	}
+	if p.ReportEvery <= 0 {
+		p.ReportEvery = d.ReportEvery
+	}
+	return p
+}
+
+// BruteForce exhaustively explores the knob space (or a coarse lattice of it
+// plus random refinement when the space is too large) and returns the best
+// configuration found. It is not a practical tuning mechanism — its role is
+// to approximate the true optimum that the GD and GA tuners are measured
+// against.
+type BruteForce struct {
+	params BruteForceParams
+}
+
+// NewBruteForce builds the search; zero-valued params take defaults.
+func NewBruteForce(params BruteForceParams) *BruteForce {
+	return &BruteForce{params: params.normalized()}
+}
+
+// Name implements Tuner.
+func (b *BruteForce) Name() string { return "brute-force" }
+
+// Params returns the effective parameters.
+func (b *BruteForce) Params() BruteForceParams { return b.params }
+
+// Run implements Tuner. MaxEpochs is ignored (the budget is
+// MaxEvaluations); the epoch records group evaluations into pseudo-epochs of
+// ReportEvery evaluations.
+func (b *BruteForce) Run(ctx context.Context, prob Problem) (Result, error) {
+	if err := prob.Validate(); err != nil {
+		return Result{}, err
+	}
+	res := Result{Tuner: b.Name(), BestLoss: math.Inf(1)}
+	rng := rand.New(rand.NewSource(prob.Seed))
+
+	evalOne := func(cfg knobs.Config) error {
+		loss, m, err := evalLoss(prob, prob.Evaluator, cfg)
+		if err != nil {
+			return err
+		}
+		res.TotalEvaluations++
+		if better(loss, res.BestLoss) {
+			res.BestLoss = loss
+			res.Best = cfg.Clone()
+			res.BestMetrics = m.Clone()
+		}
+		if res.TotalEvaluations%b.params.ReportEvery == 0 {
+			res.Epochs = append(res.Epochs, EpochRecord{
+				Epoch:       len(res.Epochs) + 1,
+				BestLoss:    res.BestLoss,
+				EpochLoss:   loss,
+				BestMetrics: res.BestMetrics.Clone(),
+				Evaluations: b.params.ReportEvery,
+			})
+		}
+		return nil
+	}
+
+	// Choose the per-knob index sets.
+	indexSets := b.indexSets(prob.Space)
+	total := 1
+	for _, s := range indexSets {
+		total *= len(s)
+		if total > b.params.MaxEvaluations {
+			break
+		}
+	}
+
+	// Exhaustive lattice enumeration (odometer-style).
+	counters := make([]int, prob.Space.Len())
+	done := false
+	for !done && res.TotalEvaluations < b.params.MaxEvaluations {
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
+		idx := make([]int, prob.Space.Len())
+		for k := range idx {
+			idx[k] = indexSets[k][counters[k]]
+		}
+		cfg, err := prob.Space.ConfigFromIndices(idx)
+		if err != nil {
+			return res, fmt.Errorf("tuner: brute force lattice: %w", err)
+		}
+		if err := evalOne(cfg); err != nil {
+			return res, fmt.Errorf("tuner: brute force evaluation: %w", err)
+		}
+		// Advance the odometer.
+		done = true
+		for k := 0; k < len(counters); k++ {
+			counters[k]++
+			if counters[k] < len(indexSets[k]) {
+				done = false
+				break
+			}
+			counters[k] = 0
+		}
+	}
+
+	// Random refinement with half of the remaining budget.
+	randomBudget := res.TotalEvaluations + (b.params.MaxEvaluations-res.TotalEvaluations)/2
+	for res.TotalEvaluations < randomBudget {
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
+		if err := evalOne(prob.Space.RandomConfig(rng)); err != nil {
+			return res, fmt.Errorf("tuner: brute force sampling: %w", err)
+		}
+	}
+
+	// Greedy coordinate-descent refinement from the best point found: the
+	// lattice restricts each knob to a coarse subset, so a local polish is
+	// needed for the result to serve as the reference optimum the paper's
+	// "brute force over the workload space" provides. The final pass is
+	// allowed to finish even if it slightly overruns the evaluation budget.
+	improved := true
+	for improved && res.TotalEvaluations < b.params.MaxEvaluations+2*prob.Space.Len() {
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
+		improved = false
+		base := res.Best.Clone()
+		for k := 0; k < prob.Space.Len(); k++ {
+			for _, delta := range []int{-1, 1} {
+				cand := base.Step(k, delta)
+				if cand.Equal(base) {
+					continue
+				}
+				before := res.BestLoss
+				if err := evalOne(cand); err != nil {
+					return res, fmt.Errorf("tuner: brute force refinement: %w", err)
+				}
+				if res.BestLoss < before {
+					improved = true
+				}
+			}
+		}
+	}
+	res.Converged = true
+	if len(res.Epochs) == 0 || res.Epochs[len(res.Epochs)-1].BestLoss != res.BestLoss {
+		res.Epochs = append(res.Epochs, EpochRecord{
+			Epoch:       len(res.Epochs) + 1,
+			BestLoss:    res.BestLoss,
+			EpochLoss:   res.BestLoss,
+			BestMetrics: res.BestMetrics.Clone(),
+			Evaluations: res.TotalEvaluations % b.params.ReportEvery,
+		})
+	}
+	return res, nil
+}
+
+// indexSets returns, per knob, the indices enumerated by the lattice sweep.
+// When the whole space fits inside the evaluation budget every index is
+// kept; otherwise each knob is reduced to LatticePointsPerKnob indices spread
+// across its range (extremes always included).
+func (b *BruteForce) indexSets(space *knobs.Space) [][]int {
+	full := space.Size() <= int64(b.params.MaxEvaluations)
+	sets := make([][]int, space.Len())
+	for k := 0; k < space.Len(); k++ {
+		n := space.Def(k).NumValues()
+		if full || n <= b.params.LatticePointsPerKnob {
+			all := make([]int, n)
+			for i := range all {
+				all[i] = i
+			}
+			sets[k] = all
+			continue
+		}
+		points := b.params.LatticePointsPerKnob
+		set := make([]int, 0, points)
+		for i := 0; i < points; i++ {
+			idx := i * (n - 1) / (points - 1)
+			if len(set) == 0 || set[len(set)-1] != idx {
+				set = append(set, idx)
+			}
+		}
+		sets[k] = set
+	}
+	return sets
+}

@@ -1,0 +1,283 @@
+package tuner
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"micrograd/internal/knobs"
+	"micrograd/internal/metrics"
+)
+
+// GDParams configures the gradient-descent tuner. The defaults follow the
+// behaviour described in §III-D of the paper: ±δ gradient checks per knob
+// (2×knobs evaluations per epoch), adaptive step sizes that shrink over
+// epochs, and a stochastic knob-skipping probability that also decays over
+// epochs to help escape local minima early while converging surely later.
+type GDParams struct {
+	// Delta is the index perturbation used for gradient checks.
+	Delta int
+	// InitialStep and FinalStep bound the adaptive step size (index units).
+	InitialStep float64
+	FinalStep   float64
+	// StepDecayEpochs is the number of epochs over which the step size
+	// decays linearly from InitialStep to FinalStep.
+	StepDecayEpochs int
+	// InitialSkipProb is the probability that a knob is skipped in an epoch.
+	InitialSkipProb float64
+	// SkipDecay multiplies the skip probability after every epoch.
+	SkipDecay float64
+	// StallEpochs is the number of consecutive epochs without configuration
+	// movement after which the search is declared converged.
+	StallEpochs int
+}
+
+// DefaultGDParams returns the parameter set used throughout the evaluation.
+func DefaultGDParams() GDParams {
+	return GDParams{
+		Delta:           1,
+		InitialStep:     3,
+		FinalStep:       1,
+		StepDecayEpochs: 15,
+		InitialSkipProb: 0.25,
+		SkipDecay:       0.9,
+		StallEpochs:     8,
+	}
+}
+
+// normalized fills zero fields with defaults.
+func (p GDParams) normalized() GDParams {
+	d := DefaultGDParams()
+	if p.Delta <= 0 {
+		p.Delta = d.Delta
+	}
+	if p.InitialStep <= 0 {
+		p.InitialStep = d.InitialStep
+	}
+	if p.FinalStep <= 0 {
+		p.FinalStep = d.FinalStep
+	}
+	if p.StepDecayEpochs <= 0 {
+		p.StepDecayEpochs = d.StepDecayEpochs
+	}
+	if p.InitialSkipProb < 0 || p.InitialSkipProb >= 1 {
+		p.InitialSkipProb = d.InitialSkipProb
+	}
+	if p.SkipDecay <= 0 || p.SkipDecay > 1 {
+		p.SkipDecay = d.SkipDecay
+	}
+	if p.StallEpochs <= 0 {
+		p.StallEpochs = d.StallEpochs
+	}
+	return p
+}
+
+// stepAt returns the step size for a (0-based) epoch.
+func (p GDParams) stepAt(epoch int) float64 {
+	if epoch >= p.StepDecayEpochs {
+		return p.FinalStep
+	}
+	frac := float64(epoch) / float64(p.StepDecayEpochs)
+	return p.InitialStep + (p.FinalStep-p.InitialStep)*frac
+}
+
+// skipProbAt returns the knob-skip probability for a (0-based) epoch.
+func (p GDParams) skipProbAt(epoch int) float64 {
+	return p.InitialSkipProb * math.Pow(p.SkipDecay, float64(epoch))
+}
+
+// GradientDescent is the paper's gradient-descent tuning mechanism
+// (Listing 3).
+type GradientDescent struct {
+	params GDParams
+}
+
+// NewGradientDescent builds the tuner; zero-valued params take defaults.
+func NewGradientDescent(params GDParams) *GradientDescent {
+	return &GradientDescent{params: params.normalized()}
+}
+
+// Name implements Tuner.
+func (g *GradientDescent) Name() string { return "gradient-descent" }
+
+// Params returns the effective parameters.
+func (g *GradientDescent) Params() GDParams { return g.params }
+
+// Run implements Tuner.
+func (g *GradientDescent) Run(ctx context.Context, prob Problem) (Result, error) {
+	if err := prob.Validate(); err != nil {
+		return Result{}, err
+	}
+	rng := rand.New(rand.NewSource(prob.Seed))
+	eval := prob.Evaluator
+
+	res := Result{Tuner: g.Name(), BestLoss: math.Inf(1)}
+
+	current := prob.Initial
+	if current.IsZero() {
+		current = prob.Space.RandomConfig(rng)
+	}
+
+	track := func(loss float64, cfg knobs.Config, m metrics.Vector) {
+		if better(loss, res.BestLoss) {
+			res.BestLoss = loss
+			res.Best = cfg.Clone()
+			res.BestMetrics = m.Clone()
+		}
+	}
+
+	stall := 0
+	for epoch := 0; epoch < prob.MaxEpochs; epoch++ {
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
+		evalsBefore := res.TotalEvaluations
+		step := g.params.stepAt(epoch)
+		skipProb := g.params.skipProbAt(epoch)
+
+		// 1. Measure the base configuration.
+		baseLoss, baseMetrics, err := evalLoss(prob, eval, current)
+		if err != nil {
+			return res, fmt.Errorf("tuner: gd base evaluation: %w", err)
+		}
+		res.TotalEvaluations++
+		track(baseLoss, current, baseMetrics)
+
+		// 2. Gradient checks: perturb every (non-skipped) knob by ±δ.
+		grads := make([]float64, prob.Space.Len())
+		for k := 0; k < prob.Space.Len(); k++ {
+			if rng.Float64() < skipProb {
+				continue // stochastically skipped this epoch
+			}
+			plus := current.Step(k, g.params.Delta)
+			minus := current.Step(k, -g.params.Delta)
+			lossPlus, mPlus, err := evalLoss(prob, eval, plus)
+			if err != nil {
+				return res, fmt.Errorf("tuner: gd gradient check (+): %w", err)
+			}
+			lossMinus, mMinus, err := evalLoss(prob, eval, minus)
+			if err != nil {
+				return res, fmt.Errorf("tuner: gd gradient check (-): %w", err)
+			}
+			res.TotalEvaluations += 2
+			track(lossPlus, plus, mPlus)
+			track(lossMinus, minus, mMinus)
+			span := float64(plus.Index(k) - minus.Index(k))
+			if span != 0 {
+				grads[k] = (lossPlus - lossMinus) / span
+			}
+		}
+
+		// 3. Build candidate moves along the descent direction: the full
+		// proportional move (steepest knob moves one step, the rest move a
+		// fraction of it), a half-step variant (adaptive step size), and a
+		// conservative move of only the steepest knob, which is robust when
+		// the joint move overshoots on a noisy or strongly-curved landscape.
+		maxAbs := 0.0
+		steepest := -1
+		for k, gk := range grads {
+			if a := math.Abs(gk); a > maxAbs {
+				maxAbs = a
+				steepest = k
+			}
+		}
+		var candidates []knobs.Config
+		if maxAbs > 0 {
+			scaled := func(scale float64) knobs.Config {
+				out := current.Clone()
+				for k, gk := range grads {
+					move := int(math.Round(-scale * step * gk / maxAbs))
+					if move != 0 {
+						out = out.Step(k, move)
+					}
+				}
+				return out
+			}
+			candidates = append(candidates, scaled(1))
+			candidates = append(candidates, scaled(0.5))
+			single := current.Clone()
+			dir := -1
+			if grads[steepest] < 0 {
+				dir = 1
+			}
+			move := dir * int(math.Max(1, math.Round(step)))
+			candidates = append(candidates, single.Step(steepest, move))
+		}
+
+		// 4. Evaluate the (distinct) candidates and accept the best one if
+		// it improves on the base configuration.
+		epochLoss := baseLoss
+		bestCandLoss := math.Inf(1)
+		var bestCand knobs.Config
+		seen := map[string]bool{current.Key(): true}
+		for _, cand := range candidates {
+			if seen[cand.Key()] {
+				continue
+			}
+			seen[cand.Key()] = true
+			candLoss, candMetrics, err := evalLoss(prob, eval, cand)
+			if err != nil {
+				return res, fmt.Errorf("tuner: gd step evaluation: %w", err)
+			}
+			res.TotalEvaluations++
+			track(candLoss, cand, candMetrics)
+			if better(candLoss, bestCandLoss) {
+				bestCandLoss = candLoss
+				bestCand = cand
+			}
+		}
+		if !bestCand.IsZero() && better(bestCandLoss, baseLoss) {
+			current = bestCand
+			epochLoss = bestCandLoss
+			stall = 0
+		} else {
+			// No improvement: restart the next epoch from the best
+			// configuration seen so far, perturbed in a couple of random
+			// knobs. This is the stochastic escape behaviour the paper
+			// describes for leaving local minima and plateaus.
+			current = perturb(rng, res.Best)
+			epochLoss = res.BestLoss
+			stall++
+		}
+
+		res.Epochs = append(res.Epochs, EpochRecord{
+			Epoch:       epoch + 1,
+			BestLoss:    res.BestLoss,
+			EpochLoss:   epochLoss,
+			BestMetrics: res.BestMetrics.Clone(),
+			Evaluations: res.TotalEvaluations - evalsBefore,
+		})
+
+		// 5. Termination: target reached or the search stalled for several
+		// consecutive epochs despite the stochastic escapes.
+		if prob.hasTarget() && res.BestLoss <= prob.TargetLoss {
+			res.Converged = true
+			break
+		}
+		if stall >= g.params.StallEpochs {
+			res.Converged = true
+			break
+		}
+	}
+	return res, nil
+}
+
+// perturb returns a copy of cfg with one or two random knobs nudged by ±1
+// index. It is the stochastic escape applied when an epoch fails to improve.
+func perturb(rng *rand.Rand, cfg knobs.Config) knobs.Config {
+	if cfg.IsZero() {
+		return cfg
+	}
+	out := cfg.Clone()
+	moves := 1 + rng.Intn(2)
+	for i := 0; i < moves; i++ {
+		k := rng.Intn(cfg.Len())
+		delta := 1
+		if rng.Intn(2) == 0 {
+			delta = -1
+		}
+		out = out.Step(k, delta)
+	}
+	return out
+}

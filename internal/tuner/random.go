@@ -1,0 +1,82 @@
+package tuner
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// RandomSearchParams configures the random-search baseline.
+type RandomSearchParams struct {
+	// EvaluationsPerEpoch is the number of random configurations drawn per
+	// epoch. The default matches GD's 2×knobs+overhead budget so the two can
+	// be compared at equal cost.
+	EvaluationsPerEpoch int
+}
+
+// RandomSearch is an additional baseline tuner (not part of the paper's
+// evaluation, but useful as a sanity reference): it samples configurations
+// uniformly at random and keeps the best.
+type RandomSearch struct {
+	params RandomSearchParams
+}
+
+// NewRandomSearch builds the tuner.
+func NewRandomSearch(params RandomSearchParams) *RandomSearch {
+	if params.EvaluationsPerEpoch <= 0 {
+		params.EvaluationsPerEpoch = 20
+	}
+	return &RandomSearch{params: params}
+}
+
+// Name implements Tuner.
+func (r *RandomSearch) Name() string { return "random-search" }
+
+// Run implements Tuner.
+func (r *RandomSearch) Run(ctx context.Context, prob Problem) (Result, error) {
+	if err := prob.Validate(); err != nil {
+		return Result{}, err
+	}
+	rng := rand.New(rand.NewSource(prob.Seed))
+	res := Result{Tuner: r.Name(), BestLoss: math.Inf(1)}
+
+	for epoch := 0; epoch < prob.MaxEpochs; epoch++ {
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
+		evalsBefore := res.TotalEvaluations
+		epochBest := math.Inf(1)
+		for i := 0; i < r.params.EvaluationsPerEpoch; i++ {
+			cfg := prob.Space.RandomConfig(rng)
+			if !prob.Initial.IsZero() && epoch == 0 && i == 0 {
+				cfg = prob.Initial.Clone()
+			}
+			loss, m, err := evalLoss(prob, prob.Evaluator, cfg)
+			if err != nil {
+				return res, fmt.Errorf("tuner: random search evaluation: %w", err)
+			}
+			res.TotalEvaluations++
+			if loss < epochBest {
+				epochBest = loss
+			}
+			if better(loss, res.BestLoss) {
+				res.BestLoss = loss
+				res.Best = cfg.Clone()
+				res.BestMetrics = m.Clone()
+			}
+		}
+		res.Epochs = append(res.Epochs, EpochRecord{
+			Epoch:       epoch + 1,
+			BestLoss:    res.BestLoss,
+			EpochLoss:   epochBest,
+			BestMetrics: res.BestMetrics.Clone(),
+			Evaluations: res.TotalEvaluations - evalsBefore,
+		})
+		if prob.hasTarget() && res.BestLoss <= prob.TargetLoss {
+			res.Converged = true
+			break
+		}
+	}
+	return res, nil
+}

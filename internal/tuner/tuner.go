@@ -1,0 +1,199 @@
+// Package tuner implements MicroGrad's tuning mechanisms: the gradient
+// descent tuner that is the paper's key novelty (§III-D, Listing 3), the
+// genetic-algorithm baseline used by prior work (GeST et al., Table I), a
+// brute-force reference search (the "optimal worst case" lines of Figs. 5-6)
+// and a random-search baseline.
+//
+// All tuners operate on the same representation — a knob index vector
+// (internal/knobs.Config) — and the same Problem definition, which is what
+// lets them be swapped freely inside the MicroGrad framework, exactly as the
+// paper's modularity claim requires.
+package tuner
+
+import (
+	"context"
+	"fmt"
+
+	"micrograd/internal/knobs"
+	"micrograd/internal/metrics"
+)
+
+// Evaluator maps a knob configuration to the metric vector measured on the
+// evaluation platform. Implementations typically wrap "synthesize test case
+// with Microprobe, run it on the platform, read back the metrics".
+type Evaluator interface {
+	Evaluate(cfg knobs.Config) (metrics.Vector, error)
+}
+
+// EvaluatorFunc adapts a function to the Evaluator interface.
+type EvaluatorFunc func(cfg knobs.Config) (metrics.Vector, error)
+
+// Evaluate implements Evaluator.
+func (f EvaluatorFunc) Evaluate(cfg knobs.Config) (metrics.Vector, error) { return f(cfg) }
+
+// CountingEvaluator wraps an Evaluator and counts evaluations; every tuner
+// uses it so that the resource-efficiency comparison of the paper
+// (evaluations per epoch: 2×knobs for GD vs population size for GA) can be
+// reproduced exactly.
+type CountingEvaluator struct {
+	inner Evaluator
+	count int
+}
+
+// NewCountingEvaluator wraps inner.
+func NewCountingEvaluator(inner Evaluator) *CountingEvaluator {
+	return &CountingEvaluator{inner: inner}
+}
+
+// Evaluate implements Evaluator.
+func (c *CountingEvaluator) Evaluate(cfg knobs.Config) (metrics.Vector, error) {
+	c.count++
+	return c.inner.Evaluate(cfg)
+}
+
+// Count returns the number of evaluations served.
+func (c *CountingEvaluator) Count() int { return c.count }
+
+// MemoizingEvaluator wraps an Evaluator with a cache keyed on the knob
+// configuration, so that revisiting a configuration (common late in GA runs
+// and in brute-force sweeps) does not pay for a second simulation. The
+// evaluation count of the wrapped CountingEvaluator still reflects real
+// simulator work only.
+type MemoizingEvaluator struct {
+	inner Evaluator
+	cache map[string]metrics.Vector
+}
+
+// NewMemoizingEvaluator wraps inner with an unbounded cache.
+func NewMemoizingEvaluator(inner Evaluator) *MemoizingEvaluator {
+	return &MemoizingEvaluator{inner: inner, cache: make(map[string]metrics.Vector)}
+}
+
+// Evaluate implements Evaluator.
+func (m *MemoizingEvaluator) Evaluate(cfg knobs.Config) (metrics.Vector, error) {
+	key := cfg.Key()
+	if v, ok := m.cache[key]; ok {
+		return v.Clone(), nil
+	}
+	v, err := m.inner.Evaluate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	m.cache[key] = v.Clone()
+	return v, nil
+}
+
+// CacheSize returns the number of cached configurations.
+func (m *MemoizingEvaluator) CacheSize() int { return len(m.cache) }
+
+// Problem is one tuning task.
+type Problem struct {
+	// Space is the knob search space.
+	Space *knobs.Space
+	// Loss maps measured metrics to the scalar being minimized.
+	Loss metrics.Loss
+	// Evaluator produces metrics for a candidate configuration.
+	Evaluator Evaluator
+	// MaxEpochs bounds the number of tuning epochs.
+	MaxEpochs int
+	// TargetLoss stops tuning early once the best loss drops to or below
+	// this value. Use NoTargetLoss (negative infinity is impractical here,
+	// so any negative value) to disable.
+	TargetLoss float64
+	// Seed drives every stochastic choice of the tuner.
+	Seed int64
+	// Initial optionally fixes the starting configuration; when zero the
+	// tuner starts from a random configuration (the paper's behaviour).
+	Initial knobs.Config
+}
+
+// NoTargetLoss disables the early-stop threshold.
+const NoTargetLoss = -1.0
+
+// Validate checks the problem definition.
+func (p Problem) Validate() error {
+	if p.Space == nil {
+		return fmt.Errorf("tuner: problem without knob space")
+	}
+	if p.Loss == nil {
+		return fmt.Errorf("tuner: problem without loss")
+	}
+	if p.Evaluator == nil {
+		return fmt.Errorf("tuner: problem without evaluator")
+	}
+	if p.MaxEpochs <= 0 {
+		return fmt.Errorf("tuner: MaxEpochs must be positive, got %d", p.MaxEpochs)
+	}
+	if !p.Initial.IsZero() && p.Initial.Space() != p.Space {
+		return fmt.Errorf("tuner: initial configuration belongs to a different space")
+	}
+	return nil
+}
+
+// hasTarget reports whether the early-stop threshold is enabled.
+func (p Problem) hasTarget() bool { return p.TargetLoss >= 0 }
+
+// EpochRecord captures the state of the search after one tuning epoch; the
+// sequence of records is the paper's "epoch progression" output.
+type EpochRecord struct {
+	// Epoch is the 1-based epoch number.
+	Epoch int
+	// BestLoss is the best loss seen up to and including this epoch.
+	BestLoss float64
+	// EpochLoss is the loss of the epoch's own output configuration.
+	EpochLoss float64
+	// BestMetric is the metric vector of the best configuration so far.
+	BestMetrics metrics.Vector
+	// Evaluations is the number of platform evaluations performed in this
+	// epoch.
+	Evaluations int
+}
+
+// Result is the outcome of a tuning run.
+type Result struct {
+	// Tuner names the tuning mechanism that produced the result.
+	Tuner string
+	// Best is the best configuration found.
+	Best knobs.Config
+	// BestLoss is its loss.
+	BestLoss float64
+	// BestMetrics is its measured metric vector.
+	BestMetrics metrics.Vector
+	// Epochs is the per-epoch progression.
+	Epochs []EpochRecord
+	// TotalEvaluations is the total number of platform evaluations consumed.
+	TotalEvaluations int
+	// Converged reports whether the run stopped because of convergence or
+	// the target-loss threshold (as opposed to exhausting MaxEpochs).
+	Converged bool
+}
+
+// EvaluationsPerEpoch returns the average number of evaluations per epoch.
+func (r Result) EvaluationsPerEpoch() float64 {
+	if len(r.Epochs) == 0 {
+		return 0
+	}
+	return float64(r.TotalEvaluations) / float64(len(r.Epochs))
+}
+
+// Tuner is a tuning mechanism.
+type Tuner interface {
+	// Name identifies the mechanism ("gradient-descent", "genetic-algorithm", ...).
+	Name() string
+	// Run executes the tuning loop until convergence, the target, the epoch
+	// budget, or context cancellation.
+	Run(ctx context.Context, prob Problem) (Result, error)
+}
+
+// evalLoss is a helper shared by the tuners: evaluate a configuration and
+// score it with the problem loss.
+func evalLoss(prob Problem, eval Evaluator, cfg knobs.Config) (float64, metrics.Vector, error) {
+	v, err := eval.Evaluate(cfg)
+	if err != nil {
+		return 0, nil, err
+	}
+	return prob.Loss.Loss(v), v, nil
+}
+
+// better reports whether candidate loss a is strictly better than b.
+func better(a, b float64) bool { return a < b }

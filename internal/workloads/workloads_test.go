@@ -1,0 +1,174 @@
+package workloads
+
+import (
+	"testing"
+
+	"micrograd/internal/metrics"
+	"micrograd/internal/platform"
+)
+
+func TestSuiteShape(t *testing.T) {
+	bms := SPECInt2006()
+	if len(bms) != 8 {
+		t.Fatalf("suite has %d benchmarks, want 8", len(bms))
+	}
+	want := map[string]bool{"astar": true, "bzip2": true, "gcc": true, "hmmer": true,
+		"libquantum": true, "mcf": true, "sjeng": true, "xalancbmk": true}
+	for _, b := range bms {
+		if !want[b.Name] {
+			t.Errorf("unexpected benchmark %q", b.Name)
+		}
+		if err := b.Validate(); err != nil {
+			t.Errorf("benchmark %s invalid: %v", b.Name, err)
+		}
+		if b.Description == "" {
+			t.Errorf("benchmark %s has no description", b.Name)
+		}
+	}
+	if len(Names()) != 8 {
+		t.Error("Names() wrong length")
+	}
+}
+
+func TestByName(t *testing.T) {
+	b, err := ByName("mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Name != "mcf" {
+		t.Error("wrong benchmark returned")
+	}
+	if _, err := ByName("doom3"); err == nil {
+		t.Error("unknown benchmark should error")
+	}
+}
+
+func TestValidateCatchesBrokenBenchmarks(t *testing.T) {
+	good, _ := ByName("astar")
+	b := good
+	b.Name = ""
+	if err := b.Validate(); err == nil {
+		t.Error("empty name should be rejected")
+	}
+	b2 := good
+	b2.Phases = nil
+	if err := b2.Validate(); err == nil {
+		t.Error("no phases should be rejected")
+	}
+	b3 := good
+	b3.Phases = []Phase{{Name: "p", Weight: 0.5, LoopSize: 100, Settings: good.Phases[0].Settings}}
+	if err := b3.Validate(); err == nil {
+		t.Error("weights not summing to 1 should be rejected")
+	}
+	b4 := good
+	ph := good.Phases[0]
+	ph.LoopSize = 1
+	b4.Phases = []Phase{ph}
+	if err := b4.Validate(); err == nil {
+		t.Error("tiny loop size should be rejected")
+	}
+}
+
+func TestDominantPhase(t *testing.T) {
+	gcc, _ := ByName("gcc")
+	if len(gcc.Phases) < 2 {
+		t.Fatal("gcc should have multiple simpoint phases")
+	}
+	if gcc.DominantPhase().Name != "parse" {
+		t.Errorf("dominant phase = %q, want parse", gcc.DominantPhase().Name)
+	}
+}
+
+func TestProgramsSynthesize(t *testing.T) {
+	for _, b := range SPECInt2006() {
+		p, err := b.Program()
+		if err != nil {
+			t.Errorf("%s: %v", b.Name, err)
+			continue
+		}
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: generated program invalid: %v", b.Name, err)
+		}
+		if p.StaticCount() != b.DominantPhase().LoopSize {
+			t.Errorf("%s: static count %d, want %d", b.Name, p.StaticCount(), b.DominantPhase().LoopSize)
+		}
+		if p.Meta["benchmark"] != b.Name {
+			t.Errorf("%s: missing benchmark metadata", b.Name)
+		}
+	}
+}
+
+func TestReferencesDistinctSignatures(t *testing.T) {
+	plat, err := platform.NewSimPlatform(platform.Large())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := platform.EvalOptions{DynamicInstructions: 12000, Seed: 1}
+	refs := map[string]metrics.Vector{}
+	for _, b := range SPECInt2006() {
+		v, err := b.Reference(plat, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		refs[b.Name] = v
+		if v[metrics.IPC] <= 0 {
+			t.Errorf("%s: non-positive IPC", b.Name)
+		}
+	}
+	// Benchmarks must be distinguishable: expected qualitative relationships.
+	if refs["mcf"][metrics.IPC] >= refs["hmmer"][metrics.IPC] {
+		t.Errorf("mcf (memory-bound, IPC %.2f) should be slower than hmmer (compute, IPC %.2f)",
+			refs["mcf"][metrics.IPC], refs["hmmer"][metrics.IPC])
+	}
+	if refs["mcf"][metrics.L1DHitRate] >= refs["bzip2"][metrics.L1DHitRate] {
+		t.Errorf("mcf DC hit rate %.3f should be below bzip2 %.3f",
+			refs["mcf"][metrics.L1DHitRate], refs["bzip2"][metrics.L1DHitRate])
+	}
+	if refs["sjeng"][metrics.BranchMispredictRate] <= refs["libquantum"][metrics.BranchMispredictRate] {
+		t.Errorf("sjeng mispredict rate %.3f should exceed libquantum %.3f",
+			refs["sjeng"][metrics.BranchMispredictRate], refs["libquantum"][metrics.BranchMispredictRate])
+	}
+	if refs["libquantum"][metrics.L1DHitRate] >= refs["hmmer"][metrics.L1DHitRate] {
+		t.Errorf("libquantum (streaming over 2 MiB) DC hit rate %.3f should be below hmmer (cache resident) %.3f",
+			refs["libquantum"][metrics.L1DHitRate], refs["hmmer"][metrics.L1DHitRate])
+	}
+}
+
+func TestPhaseReferences(t *testing.T) {
+	plat, err := platform.NewSimPlatform(platform.Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gcc, _ := ByName("gcc")
+	phases, err := gcc.PhaseReferences(plat, platform.EvalOptions{DynamicInstructions: 8000, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(phases) != len(gcc.Phases) {
+		t.Fatalf("got %d phase references, want %d", len(phases), len(gcc.Phases))
+	}
+	for name, v := range phases {
+		if v[metrics.IPC] <= 0 {
+			t.Errorf("phase %s has non-positive IPC", name)
+		}
+	}
+}
+
+func TestReferenceDeterminism(t *testing.T) {
+	plat, _ := platform.NewSimPlatform(platform.Small())
+	b, _ := ByName("astar")
+	opts := platform.EvalOptions{DynamicInstructions: 8000, Seed: 3}
+	a, err := b.Reference(plat, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := b.Reference(plat, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range a {
+		if c[k] != v {
+			t.Errorf("metric %s differs across identical reference runs", k)
+		}
+	}
+}
