@@ -1,0 +1,32 @@
+# Local targets mirror the CI pipeline (.github/workflows/ci.yml) step for
+# step, so `make ci` reproduces exactly what a pull request is checked
+# against.
+
+GO ?= go
+
+.PHONY: build test race bench fmt vet ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "files need gofmt:"; \
+		echo "$$out"; \
+		exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+ci: fmt vet build race bench

@@ -11,6 +11,9 @@ package micrograd
 
 import (
 	"context"
+	"fmt"
+	"math/rand"
+	"runtime"
 	"testing"
 
 	"micrograd/internal/experiments"
@@ -18,6 +21,7 @@ import (
 	"micrograd/internal/metrics"
 	"micrograd/internal/microprobe"
 	"micrograd/internal/platform"
+	"micrograd/internal/sched"
 	"micrograd/internal/trace"
 	"micrograd/internal/workloads"
 )
@@ -195,6 +199,63 @@ func BenchmarkSimulatorLargeCore(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkParallelEvaluate compares serial and pooled evaluation of one
+// GA-generation-sized batch of knob configurations — the unit of work the
+// parallel evaluation engine accelerates inside every tuning epoch. The
+// parallel sub-benchmark uses one worker per CPU; the speedup between the
+// two lines is the engine's contribution to the bench trajectory.
+func BenchmarkParallelEvaluate(b *testing.B) {
+	space := knobs.DefaultSpace()
+	rng := rand.New(rand.NewSource(1))
+	cfgs := make([]knobs.Config, 50) // the paper's GA population size
+	for i := range cfgs {
+		cfgs[i] = space.RandomConfig(rng)
+	}
+	evalOpts := platform.EvalOptions{DynamicInstructions: 5000, Seed: 1}
+	syn := microprobe.NewSynthesizer(microprobe.Options{LoopSize: 250, Seed: 1})
+	newEval := func() (sched.EvalFunc, error) {
+		plat, err := platform.NewSimPlatform(platform.Large())
+		if err != nil {
+			return nil, err
+		}
+		return func(cfg knobs.Config) (metrics.Vector, error) {
+			p, err := syn.Synthesize("bench", cfg)
+			if err != nil {
+				return nil, err
+			}
+			return plat.Evaluate(p, evalOpts)
+		}, nil
+	}
+
+	b.Run("serial", func(b *testing.B) {
+		eval, err := newEval()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, cfg := range cfgs {
+				if _, err := eval(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	workers := runtime.GOMAXPROCS(0)
+	b.Run(fmt.Sprintf("parallel-%d", workers), func(b *testing.B) {
+		pe, err := sched.NewParallelEvaluator(workers, newEval)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := pe.EvaluateBatch(context.Background(), cfgs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkReferenceWorkloadMeasurement measures the cost of obtaining one

@@ -16,6 +16,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
@@ -41,6 +42,7 @@ func run(args []string, out io.Writer) error {
 		epochs     = fs.Int("epochs", 0, "override cloning epochs")
 		seed       = fs.Int64("seed", 0, "override random seed")
 		benchList  = fs.String("benchmarks", "", "comma-separated benchmark subset (default: all eight)")
+		parallel   = fs.Int("parallel", runtime.GOMAXPROCS(0), "worker count of the parallel evaluation engine (1 = serial; results are identical at any count)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -61,6 +63,9 @@ func run(args []string, out io.Writer) error {
 	}
 	if *benchList != "" {
 		budget.Benchmarks = strings.Split(*benchList, ",")
+	}
+	if *parallel > 0 {
+		budget.Parallel = *parallel
 	}
 
 	ctx := context.Background()

@@ -9,14 +9,17 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 
 	"micrograd/internal/metrics"
 	"micrograd/internal/platform"
 	"micrograd/internal/report"
+	"micrograd/internal/sched"
 	"micrograd/internal/workloads"
 )
 
@@ -35,6 +38,7 @@ func run(args []string, out io.Writer) error {
 		coreName  = fs.String("core", "large", "core to measure on: small or large")
 		dynInstr  = fs.Int("instructions", 20000, "dynamic instructions per measurement")
 		seed      = fs.Int64("seed", 1, "trace expansion seed")
+		parallel  = fs.Int("parallel", runtime.GOMAXPROCS(0), "benchmarks measured concurrently (1 = serial; results are identical at any count)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -53,10 +57,6 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	plat, err := platform.NewSimPlatform(spec)
-	if err != nil {
-		return err
-	}
 	opts := platform.EvalOptions{DynamicInstructions: *dynInstr, Seed: *seed}
 
 	var suite []workloads.Benchmark
@@ -70,16 +70,36 @@ func run(args []string, out io.Writer) error {
 		suite = workloads.SPECInt2006()
 	}
 
+	// Measure the suite on the evaluation engine: one platform instance per
+	// task (the simulator resets per run, so results match a shared-platform
+	// serial sweep bit-for-bit) and rows rendered in suite order. Values
+	// <= 0 mean serial, matching the other CLIs' -parallel semantics.
+	workers := *parallel
+	if workers < 1 {
+		workers = 1
+	}
+	vectors, err := sched.Map(context.Background(), workers, suite,
+		func(_ context.Context, _ int, bm workloads.Benchmark) (metrics.Vector, error) {
+			plat, err := platform.NewSimPlatform(spec)
+			if err != nil {
+				return nil, err
+			}
+			v, err := bm.Reference(plat, opts)
+			if err != nil {
+				return nil, fmt.Errorf("measuring %s: %w", bm.Name, err)
+			}
+			return v, nil
+		})
+	if err != nil {
+		return err
+	}
+
 	cols := append([]string{"benchmark"}, metrics.CloningMetricNames()...)
 	t := report.NewTable(fmt.Sprintf("Reference metrics on the %q core (%d dynamic instructions)", *coreName, *dynInstr), cols...)
-	for _, bm := range suite {
-		v, err := bm.Reference(plat, opts)
-		if err != nil {
-			return fmt.Errorf("measuring %s: %w", bm.Name, err)
-		}
+	for i, bm := range suite {
 		row := []string{bm.Name}
 		for _, m := range metrics.CloningMetricNames() {
-			row = append(row, fmt.Sprintf("%.4f", v[m]))
+			row = append(row, fmt.Sprintf("%.4f", vectors[i][m]))
 		}
 		t.AddRow(row...)
 	}

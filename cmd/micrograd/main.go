@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 
 	"micrograd/internal/config"
@@ -45,6 +46,7 @@ func run(args []string, out *os.File) error {
 		dynInstr   = fs.Int("instructions", 0, "dynamic instructions per evaluation (0 = default)")
 		loopSize   = fs.Int("loop-size", 0, "static kernel size (0 = ~500)")
 		seed       = fs.Int64("seed", 1, "random seed")
+		parallel   = fs.Int("parallel", runtime.GOMAXPROCS(0), "worker count of the parallel evaluation engine (1 = serial; results are identical at any count)")
 		outDir     = fs.String("out", "", "directory to write the kernel and reports into (empty = don't write)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -71,6 +73,7 @@ func run(args []string, out *os.File) error {
 		cfg.DynamicInstructions = *dynInstr
 		cfg.LoopSize = *loopSize
 		cfg.Seed = *seed
+		cfg.Parallel = *parallel
 		cfg.OutputDir = *outDir
 		if err := cfg.Validate(); err != nil {
 			return err

@@ -1,0 +1,3 @@
+module micrograd
+
+go 1.24

@@ -14,6 +14,7 @@ import (
 	"micrograd/internal/microprobe"
 	"micrograd/internal/platform"
 	"micrograd/internal/program"
+	"micrograd/internal/sched"
 	"micrograd/internal/tuner"
 	"micrograd/internal/workloads"
 )
@@ -52,6 +53,17 @@ type Options struct {
 	Metrics []string
 	// Weights optionally weights individual metrics in the loss.
 	Weights map[string]float64
+	// Parallel is the number of candidate evaluations run concurrently
+	// inside each tuning epoch. Values <= 1 keep the serial path. Results
+	// are bit-identical either way (evaluation is a pure function of the
+	// configuration and results are folded in submission order); parallel
+	// runs additionally need NewPlatform so each worker gets its own
+	// platform instance.
+	Parallel int
+	// NewPlatform creates an independent evaluation platform for one
+	// worker. Required when Parallel > 1 because Platform implementations
+	// are not concurrency-safe.
+	NewPlatform func() (platform.Platform, error)
 }
 
 // normalized fills in defaults.
@@ -122,14 +134,34 @@ func Clone(ctx context.Context, name string, target metrics.Vector, opts Options
 		return Report{}, fmt.Errorf("cloning: empty target metric vector")
 	}
 
+	// The synthesizer is pure per call (it derives a fresh RNG from its
+	// fixed seed), so one instance is shared by every worker; platforms are
+	// stateful and get one instance per worker.
 	syn := microprobe.NewSynthesizer(microprobe.Options{LoopSize: opts.LoopSize, Seed: opts.Seed})
-	evaluator := tuner.NewCountingEvaluator(tuner.EvaluatorFunc(func(cfg knobs.Config) (metrics.Vector, error) {
-		p, err := syn.Synthesize("clone-"+name, cfg)
-		if err != nil {
-			return nil, err
+	synthEval := func(plat platform.Platform) sched.EvalFunc {
+		return func(cfg knobs.Config) (metrics.Vector, error) {
+			p, err := syn.Synthesize("clone-"+name, cfg)
+			if err != nil {
+				return nil, err
+			}
+			return plat.Evaluate(p, opts.EvalOptions)
 		}
-		return opts.Platform.Evaluate(p, opts.EvalOptions)
-	}))
+	}
+	var base tuner.Evaluator = tuner.EvaluatorFunc(synthEval(opts.Platform))
+	if opts.Parallel > 1 && opts.NewPlatform != nil {
+		pe, err := sched.NewParallelEvaluator(opts.Parallel, func() (sched.EvalFunc, error) {
+			plat, err := opts.NewPlatform()
+			if err != nil {
+				return nil, err
+			}
+			return synthEval(plat), nil
+		})
+		if err != nil {
+			return Report{}, fmt.Errorf("cloning: building evaluation pool: %w", err)
+		}
+		base = pe
+	}
+	evaluator := tuner.NewCountingEvaluator(base)
 	memo := tuner.NewMemoizingEvaluator(evaluator)
 
 	loss := metrics.CloneLoss{Target: target, Weights: opts.Weights, Metrics: opts.Metrics}

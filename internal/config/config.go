@@ -49,6 +49,10 @@ type Config struct {
 	LoopSize int `json:"loop_size"`
 	// Seed drives all stochastic choices.
 	Seed int64 `json:"seed"`
+	// Parallel is the number of candidate evaluations run concurrently per
+	// tuning epoch (the parallel evaluation engine's worker count). Values
+	// <= 1 run serially; results are bit-identical at any worker count.
+	Parallel int `json:"parallel,omitempty"`
 
 	// Benchmark names the reference application to clone (one of the
 	// built-in SPEC-like workloads). Mutually exclusive with TargetMetrics.
@@ -136,7 +140,7 @@ func (c Config) Validate() error {
 	default:
 		return fmt.Errorf("config: unknown tuner %q", c.Tuner)
 	}
-	if c.MaxEpochs < 0 || c.DynamicInstructions < 0 || c.LoopSize < 0 {
+	if c.MaxEpochs < 0 || c.DynamicInstructions < 0 || c.LoopSize < 0 || c.Parallel < 0 {
 		return fmt.Errorf("config: negative budget values")
 	}
 	if c.TargetAccuracy < 0 || c.TargetAccuracy > 1 {

@@ -26,6 +26,7 @@ import (
 // Framework is one configured MicroGrad instance.
 type Framework struct {
 	cfg  config.Config
+	spec platform.CoreSpec
 	plat *platform.SimPlatform
 	tun  tuner.Tuner
 }
@@ -47,7 +48,13 @@ func New(cfg config.Config) (*Framework, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Framework{cfg: cfg, plat: plat, tun: tun}, nil
+	return &Framework{cfg: cfg, spec: spec, plat: plat, tun: tun}, nil
+}
+
+// newPlatform creates an additional platform instance for one worker of the
+// parallel evaluation engine.
+func (f *Framework) newPlatform() (platform.Platform, error) {
+	return platform.NewSimPlatform(f.spec)
 }
 
 // Config returns the framework configuration.
@@ -123,6 +130,8 @@ func (f *Framework) cloningOptions() cloning.Options {
 		MaxEpochs:      f.cfg.MaxEpochs,
 		TargetAccuracy: f.cfg.TargetAccuracy,
 		Metrics:        f.cfg.Metrics,
+		Parallel:       f.cfg.Parallel,
+		NewPlatform:    f.newPlatform,
 	}
 }
 
@@ -197,6 +206,8 @@ func (f *Framework) runStress(ctx context.Context) (*Output, error) {
 		MaxEpochs:   f.cfg.MaxEpochs,
 		Metric:      f.cfg.StressMetric,
 		Maximize:    f.cfg.Maximize,
+		Parallel:    f.cfg.Parallel,
+		NewPlatform: f.newPlatform,
 	}
 	rep, err := stress.Run(ctx, kind, opts)
 	if err != nil {

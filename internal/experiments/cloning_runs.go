@@ -9,7 +9,9 @@ import (
 	"micrograd/internal/metrics"
 	"micrograd/internal/platform"
 	"micrograd/internal/report"
+	"micrograd/internal/sched"
 	"micrograd/internal/tuner"
+	"micrograd/internal/workloads"
 )
 
 // CloningResult is the outcome of one cloning experiment (Figs. 2-4): one
@@ -72,14 +74,23 @@ func runCloningExperiment(ctx context.Context, figure string, core platform.Core
 		Tuner:   tunerName,
 		Reports: make(map[string]cloning.Report, len(bms)),
 	}
-	totalErr := 0.0
-	for i, bm := range bms {
-		if err := ctx.Err(); err != nil {
-			return res, err
-		}
+
+	// Each benchmark's cloning run is independent (its own platform, its own
+	// seed), so the per-benchmark loop fans out across the engine's workers;
+	// the reports are folded back in benchmark order so the accumulated
+	// totals are bit-identical to the serial loop. The worker budget is
+	// split across the two nesting levels — benchmarks outside, candidate
+	// evaluations inside — so total concurrency stays near b.Parallel
+	// instead of multiplying to Parallel².
+	outer := sched.Workers(b.Parallel, len(bms))
+	inner := b.Parallel / outer
+	if inner < 1 {
+		inner = 1
+	}
+	runOne := func(ctx context.Context, i int, bm workloads.Benchmark) (cloning.Report, error) {
 		plat, err := platform.NewSimPlatform(core)
 		if err != nil {
-			return CloningResult{}, err
+			return cloning.Report{}, err
 		}
 		maxEpochs := b.CloneEpochs
 		if epochOverride != nil {
@@ -94,11 +105,22 @@ func runCloningExperiment(ctx context.Context, figure string, core platform.Core
 			LoopSize:    b.LoopSize,
 			Seed:        b.Seed + int64(i)*101,
 			MaxEpochs:   maxEpochs,
+			Parallel:    inner,
+			NewPlatform: func() (platform.Platform, error) { return platform.NewSimPlatform(core) },
 		}
 		rep, err := cloning.CloneBenchmark(ctx, bm, opts)
 		if err != nil {
-			return res, fmt.Errorf("experiments: %s cloning %s: %w", figure, bm.Name, err)
+			return cloning.Report{}, fmt.Errorf("experiments: %s cloning %s: %w", figure, bm.Name, err)
 		}
+		return rep, nil
+	}
+	reports, err := sched.Map(ctx, outer, bms, runOne)
+	if err != nil {
+		return res, err
+	}
+	totalErr := 0.0
+	for i, bm := range bms {
+		rep := reports[i]
 		res.Reports[bm.Name] = rep
 		res.TotalEvaluations += rep.Evaluations
 		totalErr += report.MeanAbsError(rep.Accuracy)

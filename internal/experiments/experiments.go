@@ -37,6 +37,12 @@ type Budget struct {
 	BruteForceEvaluations int
 	// Seed drives all stochastic choices.
 	Seed int64
+	// Parallel is the worker count of the parallel evaluation engine:
+	// benchmarks within a cloning experiment, the tuning runs within a
+	// stress experiment, and the candidate evaluations within each tuning
+	// epoch all fan out across this many workers. Values <= 1 run serially.
+	// Results are bit-identical at any worker count.
+	Parallel int
 }
 
 // FullBudget returns the paper-shaped budget used by cmd/mgbench by default.
@@ -89,6 +95,9 @@ func (b Budget) normalized() Budget {
 	}
 	if b.Seed == 0 {
 		b.Seed = full.Seed
+	}
+	if b.Parallel <= 0 {
+		b.Parallel = 1
 	}
 	return b
 }

@@ -10,6 +10,7 @@ import (
 	"micrograd/internal/microprobe"
 	"micrograd/internal/platform"
 	"micrograd/internal/report"
+	"micrograd/internal/sched"
 	"micrograd/internal/stress"
 	"micrograd/internal/tuner"
 )
@@ -84,6 +85,16 @@ func runStressExperiment(ctx context.Context, figure string, kind stress.Kind, b
 	b = b.normalized()
 	core := platform.Large()
 
+	// The three searches (GD, GA, brute force) are independent runs with
+	// their own platforms, so they execute concurrently on the engine; each
+	// additionally fans its per-epoch candidate evaluations out. The worker
+	// budget is split across the two levels so total concurrency stays near
+	// b.Parallel instead of multiplying to Parallel².
+	outer := sched.Workers(b.Parallel, 3)
+	inner := b.Parallel / outer
+	if inner < 1 {
+		inner = 1
+	}
 	newOpts := func(tn tuner.Tuner, epochs int) (stress.Options, error) {
 		plat, err := platform.NewSimPlatform(core)
 		if err != nil {
@@ -96,31 +107,51 @@ func runStressExperiment(ctx context.Context, figure string, kind stress.Kind, b
 			LoopSize:    b.LoopSize,
 			Seed:        b.Seed,
 			MaxEpochs:   epochs,
+			Parallel:    inner,
+			NewPlatform: func() (platform.Platform, error) { return platform.NewSimPlatform(core) },
 		}, nil
 	}
-
-	gdOpts, err := newOpts(tuner.NewGradientDescent(tuner.GDParams{}), b.StressEpochs)
-	if err != nil {
-		return StressResult{}, err
-	}
-	gd, err := stress.Run(ctx, kind, gdOpts)
-	if err != nil {
-		return StressResult{}, fmt.Errorf("experiments: %s GD: %w", figure, err)
-	}
-
+	var (
+		gd, ga  stress.Report
+		bfValue float64
+		bfEvals int
+	)
 	gaEpochs := b.StressEpochs + b.StressEpochs/2 // 1.5x, as observed in the paper
-	gaOpts, err := newOpts(tuner.NewGeneticAlgorithm(tuner.GAParams{}), gaEpochs)
-	if err != nil {
+	runs := []func(ctx context.Context) error{
+		func(ctx context.Context) error {
+			opts, err := newOpts(tuner.NewGradientDescent(tuner.GDParams{}), b.StressEpochs)
+			if err != nil {
+				return err
+			}
+			if gd, err = stress.Run(ctx, kind, opts); err != nil {
+				return fmt.Errorf("experiments: %s GD: %w", figure, err)
+			}
+			return nil
+		},
+		func(ctx context.Context) error {
+			opts, err := newOpts(tuner.NewGeneticAlgorithm(tuner.GAParams{}), gaEpochs)
+			if err != nil {
+				return err
+			}
+			if ga, err = stress.Run(ctx, kind, opts); err != nil {
+				return fmt.Errorf("experiments: %s GA: %w", figure, err)
+			}
+			return nil
+		},
+		func(ctx context.Context) error {
+			bb := b
+			bb.Parallel = inner
+			var err error
+			if bfValue, bfEvals, err = bruteForceReference(ctx, kind, core, bb); err != nil {
+				return fmt.Errorf("experiments: %s brute force: %w", figure, err)
+			}
+			return nil
+		},
+	}
+	if err := sched.Run(ctx, outer, len(runs), func(ctx context.Context, i int) error {
+		return runs[i](ctx)
+	}); err != nil {
 		return StressResult{}, err
-	}
-	ga, err := stress.Run(ctx, kind, gaOpts)
-	if err != nil {
-		return StressResult{}, fmt.Errorf("experiments: %s GA: %w", figure, err)
-	}
-
-	bfValue, bfEvals, err := bruteForceReference(ctx, kind, core, b)
-	if err != nil {
-		return StressResult{}, fmt.Errorf("experiments: %s brute force: %w", figure, err)
 	}
 
 	res := StressResult{
@@ -157,13 +188,30 @@ func bruteForceReference(ctx context.Context, kind stress.Kind, core platform.Co
 		loss = metrics.StressLoss{Metric: metrics.IPC}
 	}
 	syn := microprobe.NewSynthesizer(microprobe.Options{LoopSize: b.LoopSize, Seed: b.Seed})
-	counting := tuner.NewCountingEvaluator(tuner.EvaluatorFunc(func(cfg knobs.Config) (metrics.Vector, error) {
-		p, err := syn.Synthesize("bruteforce-"+string(kind), cfg)
-		if err != nil {
-			return nil, err
+	synthEval := func(plat platform.Platform) sched.EvalFunc {
+		return func(cfg knobs.Config) (metrics.Vector, error) {
+			p, err := syn.Synthesize("bruteforce-"+string(kind), cfg)
+			if err != nil {
+				return nil, err
+			}
+			return plat.Evaluate(p, evalOpts)
 		}
-		return plat.Evaluate(p, evalOpts)
-	}))
+	}
+	var base tuner.Evaluator = tuner.EvaluatorFunc(synthEval(plat))
+	if b.Parallel > 1 {
+		pe, err := sched.NewParallelEvaluator(b.Parallel, func() (sched.EvalFunc, error) {
+			wplat, err := platform.NewSimPlatform(core)
+			if err != nil {
+				return nil, err
+			}
+			return synthEval(wplat), nil
+		})
+		if err != nil {
+			return 0, 0, err
+		}
+		base = pe
+	}
+	counting := tuner.NewCountingEvaluator(base)
 	bf := tuner.NewBruteForce(tuner.BruteForceParams{
 		MaxEvaluations:       b.BruteForceEvaluations,
 		LatticePointsPerKnob: 2,

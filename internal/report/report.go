@@ -240,13 +240,21 @@ func RadarTable(title string, metricNames []string, accuracy map[string]map[stri
 }
 
 // MeanAbsError returns the mean |ratio-1| across a per-metric accuracy map.
+// The sum is accumulated in sorted key order: float addition is not
+// associative, so summing in map iteration order would make the result
+// wobble in the last ULP from run to run.
 func MeanAbsError(ratios map[string]float64) float64 {
 	if len(ratios) == 0 {
 		return 0
 	}
+	names := make([]string, 0, len(ratios))
+	for name := range ratios {
+		names = append(names, name)
+	}
+	sort.Strings(names)
 	sum := 0.0
-	for _, r := range ratios {
-		err := r - 1
+	for _, name := range names {
+		err := ratios[name] - 1
 		if err < 0 {
 			err = -err
 		}

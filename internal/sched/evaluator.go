@@ -1,0 +1,87 @@
+package sched
+
+import (
+	"context"
+	"fmt"
+
+	"micrograd/internal/knobs"
+	"micrograd/internal/metrics"
+)
+
+// EvalFunc maps one knob configuration to its measured metric vector. It is
+// the unit of work the engine schedules; each worker owns one EvalFunc whose
+// captured state (synthesizer, simulation platform) is private to it, which
+// is what makes fan-out safe even though the platforms themselves are not
+// concurrency-safe.
+type EvalFunc func(cfg knobs.Config) (metrics.Vector, error)
+
+// BatchEvaluator is the parallel evaluation boundary: implementations
+// evaluate a batch of independent configurations, returning results[i] for
+// cfgs[i]. Results must be identical to evaluating the configurations one by
+// one in order — callers rely on this to keep parallel tuning runs
+// bit-identical to serial ones.
+type BatchEvaluator interface {
+	EvaluateBatch(ctx context.Context, cfgs []knobs.Config) ([]metrics.Vector, error)
+}
+
+// ParallelEvaluator fans evaluations out over a fixed set of worker
+// evaluators. It implements BatchEvaluator and, via Evaluate, the tuner
+// package's Evaluator interface, so it can be dropped into any Problem.
+type ParallelEvaluator struct {
+	// slots holds one EvalFunc per worker; an EvalFunc is checked out for
+	// the duration of one evaluation, so each is only ever used by one
+	// goroutine at a time.
+	slots chan EvalFunc
+	n     int
+}
+
+// NewParallelEvaluator builds a pool of workers evaluator instances from the
+// factory. A workers value <= 0 selects DefaultWorkers. The factory is
+// called once per worker and must return evaluators that are independent of
+// each other (typically each wraps its own simulation platform).
+func NewParallelEvaluator(workers int, factory func() (EvalFunc, error)) (*ParallelEvaluator, error) {
+	workers = Workers(workers, 0)
+	slots := make(chan EvalFunc, workers)
+	for i := 0; i < workers; i++ {
+		f, err := factory()
+		if err != nil {
+			return nil, fmt.Errorf("sched: building worker %d: %w", i, err)
+		}
+		if f == nil {
+			return nil, fmt.Errorf("sched: worker factory returned nil evaluator")
+		}
+		slots <- f
+	}
+	return &ParallelEvaluator{slots: slots, n: workers}, nil
+}
+
+// Workers returns the pool size.
+func (e *ParallelEvaluator) Workers() int { return e.n }
+
+// Evaluate evaluates a single configuration on any free worker. It is safe
+// for concurrent use.
+func (e *ParallelEvaluator) Evaluate(cfg knobs.Config) (metrics.Vector, error) {
+	f := <-e.slots
+	defer func() { e.slots <- f }()
+	return f(cfg)
+}
+
+// EvaluateBatch implements BatchEvaluator: the configurations are evaluated
+// concurrently across the pool and the results returned in input order.
+func (e *ParallelEvaluator) EvaluateBatch(ctx context.Context, cfgs []knobs.Config) ([]metrics.Vector, error) {
+	out := make([]metrics.Vector, len(cfgs))
+	err := Run(ctx, e.n, len(cfgs), func(_ context.Context, i int) error {
+		f := <-e.slots
+		defer func() { e.slots <- f }()
+		v, err := f(cfgs[i])
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

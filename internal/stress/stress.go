@@ -14,6 +14,7 @@ import (
 	"micrograd/internal/microprobe"
 	"micrograd/internal/platform"
 	"micrograd/internal/program"
+	"micrograd/internal/sched"
 	"micrograd/internal/tuner"
 )
 
@@ -58,6 +59,15 @@ type Options struct {
 	// depending on Kind). Maximize selects the direction for custom metrics.
 	Metric   string
 	Maximize bool
+	// Parallel is the number of candidate evaluations run concurrently
+	// inside each tuning epoch. Values <= 1 keep the serial path; results
+	// are bit-identical either way. Parallel runs additionally need
+	// NewPlatform so each worker gets its own platform instance.
+	Parallel int
+	// NewPlatform creates an independent evaluation platform for one
+	// worker. Required when Parallel > 1 because Platform implementations
+	// are not concurrency-safe.
+	NewPlatform func() (platform.Platform, error)
 }
 
 // goal returns the metric and direction for a kind.
@@ -149,14 +159,32 @@ func Run(ctx context.Context, kind Kind, opts Options) (Report, error) {
 		evalOpts.CollectPower = true
 	}
 
+	// One shared synthesizer (pure per call), one platform per worker.
 	syn := microprobe.NewSynthesizer(microprobe.Options{LoopSize: opts.LoopSize, Seed: opts.Seed})
-	counting := tuner.NewCountingEvaluator(tuner.EvaluatorFunc(func(cfg knobs.Config) (metrics.Vector, error) {
-		p, err := syn.Synthesize(string(kind), cfg)
-		if err != nil {
-			return nil, err
+	synthEval := func(plat platform.Platform) sched.EvalFunc {
+		return func(cfg knobs.Config) (metrics.Vector, error) {
+			p, err := syn.Synthesize(string(kind), cfg)
+			if err != nil {
+				return nil, err
+			}
+			return plat.Evaluate(p, evalOpts)
 		}
-		return opts.Platform.Evaluate(p, evalOpts)
-	}))
+	}
+	var base tuner.Evaluator = tuner.EvaluatorFunc(synthEval(opts.Platform))
+	if opts.Parallel > 1 && opts.NewPlatform != nil {
+		pe, err := sched.NewParallelEvaluator(opts.Parallel, func() (sched.EvalFunc, error) {
+			plat, err := opts.NewPlatform()
+			if err != nil {
+				return nil, err
+			}
+			return synthEval(plat), nil
+		})
+		if err != nil {
+			return Report{}, fmt.Errorf("stress: building evaluation pool: %w", err)
+		}
+		base = pe
+	}
+	counting := tuner.NewCountingEvaluator(base)
 	memo := tuner.NewMemoizingEvaluator(counting)
 
 	prob := tuner.Problem{

@@ -7,6 +7,7 @@ import (
 	"math/rand"
 
 	"micrograd/internal/knobs"
+	"micrograd/internal/metrics"
 )
 
 // BruteForceParams configures the brute-force reference search used to
@@ -80,11 +81,12 @@ func (b *BruteForce) Run(ctx context.Context, prob Problem) (Result, error) {
 	res := Result{Tuner: b.Name(), BestLoss: math.Inf(1)}
 	rng := rand.New(rand.NewSource(prob.Seed))
 
-	evalOne := func(cfg knobs.Config) error {
-		loss, m, err := evalLoss(prob, prob.Evaluator, cfg)
-		if err != nil {
-			return err
-		}
+	// foldOne accumulates one evaluated configuration into the result. Every
+	// phase below generates its candidate list up front, evaluates it as one
+	// batch (fanned out when the evaluator supports it) and folds the results
+	// in generation order, so the accumulated state — best-so-far, evaluation
+	// counter, pseudo-epoch records — is bit-identical to the serial sweep.
+	foldOne := func(cfg knobs.Config, loss float64, m metrics.Vector) {
 		res.TotalEvaluations++
 		if better(loss, res.BestLoss) {
 			res.BestLoss = loss
@@ -100,26 +102,25 @@ func (b *BruteForce) Run(ctx context.Context, prob Problem) (Result, error) {
 				Evaluations: b.params.ReportEvery,
 			})
 		}
+	}
+	evalChunk := func(cfgs []knobs.Config) error {
+		losses, ms, err := evalBatch(ctx, prob, cfgs)
+		if err != nil {
+			return err
+		}
+		for i := range cfgs {
+			foldOne(cfgs[i], losses[i], ms[i])
+		}
 		return nil
 	}
 
-	// Choose the per-knob index sets.
+	// Choose the per-knob index sets and enumerate the lattice
+	// (odometer-style) up to the evaluation budget.
 	indexSets := b.indexSets(prob.Space)
-	total := 1
-	for _, s := range indexSets {
-		total *= len(s)
-		if total > b.params.MaxEvaluations {
-			break
-		}
-	}
-
-	// Exhaustive lattice enumeration (odometer-style).
 	counters := make([]int, prob.Space.Len())
+	var lattice []knobs.Config
 	done := false
-	for !done && res.TotalEvaluations < b.params.MaxEvaluations {
-		if err := ctx.Err(); err != nil {
-			return res, err
-		}
+	for !done && len(lattice) < b.params.MaxEvaluations {
 		idx := make([]int, prob.Space.Len())
 		for k := range idx {
 			idx[k] = indexSets[k][counters[k]]
@@ -128,9 +129,7 @@ func (b *BruteForce) Run(ctx context.Context, prob Problem) (Result, error) {
 		if err != nil {
 			return res, fmt.Errorf("tuner: brute force lattice: %w", err)
 		}
-		if err := evalOne(cfg); err != nil {
-			return res, fmt.Errorf("tuner: brute force evaluation: %w", err)
-		}
+		lattice = append(lattice, cfg)
 		// Advance the odometer.
 		done = true
 		for k := 0; k < len(counters); k++ {
@@ -142,14 +141,20 @@ func (b *BruteForce) Run(ctx context.Context, prob Problem) (Result, error) {
 			counters[k] = 0
 		}
 	}
+	if err := evalChunk(lattice); err != nil {
+		return res, fmt.Errorf("tuner: brute force evaluation: %w", err)
+	}
 
-	// Random refinement with half of the remaining budget.
-	randomBudget := res.TotalEvaluations + (b.params.MaxEvaluations-res.TotalEvaluations)/2
-	for res.TotalEvaluations < randomBudget {
-		if err := ctx.Err(); err != nil {
-			return res, err
+	// Random refinement with half of the remaining budget. The samples are
+	// drawn serially from the seeded RNG (evaluations consume no randomness)
+	// and then evaluated as one batch.
+	randomBudget := (b.params.MaxEvaluations - res.TotalEvaluations) / 2
+	if randomBudget > 0 {
+		samples := make([]knobs.Config, randomBudget)
+		for i := range samples {
+			samples[i] = prob.Space.RandomConfig(rng)
 		}
-		if err := evalOne(prob.Space.RandomConfig(rng)); err != nil {
+		if err := evalChunk(samples); err != nil {
 			return res, fmt.Errorf("tuner: brute force sampling: %w", err)
 		}
 	}
@@ -157,30 +162,32 @@ func (b *BruteForce) Run(ctx context.Context, prob Problem) (Result, error) {
 	// Greedy coordinate-descent refinement from the best point found: the
 	// lattice restricts each knob to a coarse subset, so a local polish is
 	// needed for the result to serve as the reference optimum the paper's
-	// "brute force over the workload space" provides. The final pass is
-	// allowed to finish even if it slightly overruns the evaluation budget.
+	// "brute force over the workload space" provides. Each sweep perturbs
+	// every knob of a fixed base configuration by ±1, so a sweep is one
+	// batch; the sweep improved iff the best loss dropped across it. The
+	// final pass is allowed to finish even if it slightly overruns the
+	// evaluation budget.
 	improved := true
 	for improved && res.TotalEvaluations < b.params.MaxEvaluations+2*prob.Space.Len() {
 		if err := ctx.Err(); err != nil {
 			return res, err
 		}
-		improved = false
 		base := res.Best.Clone()
+		beforeSweep := res.BestLoss
+		var sweep []knobs.Config
 		for k := 0; k < prob.Space.Len(); k++ {
 			for _, delta := range []int{-1, 1} {
 				cand := base.Step(k, delta)
 				if cand.Equal(base) {
 					continue
 				}
-				before := res.BestLoss
-				if err := evalOne(cand); err != nil {
-					return res, fmt.Errorf("tuner: brute force refinement: %w", err)
-				}
-				if res.BestLoss < before {
-					improved = true
-				}
+				sweep = append(sweep, cand)
 			}
 		}
+		if err := evalChunk(sweep); err != nil {
+			return res, fmt.Errorf("tuner: brute force refinement: %w", err)
+		}
+		improved = res.BestLoss < beforeSweep
 	}
 	res.Converged = true
 	if len(res.Epochs) == 0 || res.Epochs[len(res.Epochs)-1].BestLoss != res.BestLoss {

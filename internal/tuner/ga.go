@@ -89,7 +89,6 @@ func (g *GeneticAlgorithm) Run(ctx context.Context, prob Problem) (Result, error
 		return Result{}, err
 	}
 	rng := rand.New(rand.NewSource(prob.Seed))
-	eval := prob.Evaluator
 	res := Result{Tuner: g.Name(), BestLoss: math.Inf(1)}
 
 	// Initial population: random individuals, optionally seeded with the
@@ -109,17 +108,24 @@ func (g *GeneticAlgorithm) Run(ctx context.Context, prob Problem) (Result, error
 		evalsBefore := res.TotalEvaluations
 
 		// Evaluate the population (the per-epoch cost of the GA approach).
+		// The individuals are independent, so the batch fans out across the
+		// evaluator's worker pool; folding results back in population order
+		// keeps the run bit-identical to a serial evaluation loop.
+		cfgs := make([]knobs.Config, len(pop))
 		for i := range pop {
-			loss, m, err := evalLoss(prob, eval, pop[i].cfg)
-			if err != nil {
-				return res, fmt.Errorf("tuner: ga evaluation: %w", err)
-			}
+			cfgs[i] = pop[i].cfg
+		}
+		losses, ms, err := evalBatch(ctx, prob, cfgs)
+		if err != nil {
+			return res, fmt.Errorf("tuner: ga evaluation: %w", err)
+		}
+		for i := range pop {
 			res.TotalEvaluations++
-			pop[i].loss = loss
-			if better(loss, res.BestLoss) {
-				res.BestLoss = loss
+			pop[i].loss = losses[i]
+			if better(losses[i], res.BestLoss) {
+				res.BestLoss = losses[i]
 				res.Best = pop[i].cfg.Clone()
-				res.BestMetrics = m.Clone()
+				res.BestMetrics = ms[i].Clone()
 			}
 		}
 

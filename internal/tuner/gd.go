@@ -144,25 +144,32 @@ func (g *GradientDescent) Run(ctx context.Context, prob Problem) (Result, error)
 		res.TotalEvaluations++
 		track(baseLoss, current, baseMetrics)
 
-		// 2. Gradient checks: perturb every (non-skipped) knob by ±δ.
+		// 2. Gradient checks: perturb every (non-skipped) knob by ±δ. The
+		// skip decisions are drawn first — in knob order, exactly as the
+		// serial loop drew them — and the 2×knobs probe evaluations are then
+		// independent, so they run as one batch; results are folded back in
+		// knob order, keeping the RNG stream and the accumulated state
+		// bit-identical to the serial path.
 		grads := make([]float64, prob.Space.Len())
+		probed := make([]int, 0, prob.Space.Len())
+		probes := make([]knobs.Config, 0, 2*prob.Space.Len())
 		for k := 0; k < prob.Space.Len(); k++ {
 			if rng.Float64() < skipProb {
 				continue // stochastically skipped this epoch
 			}
-			plus := current.Step(k, g.params.Delta)
-			minus := current.Step(k, -g.params.Delta)
-			lossPlus, mPlus, err := evalLoss(prob, eval, plus)
-			if err != nil {
-				return res, fmt.Errorf("tuner: gd gradient check (+): %w", err)
-			}
-			lossMinus, mMinus, err := evalLoss(prob, eval, minus)
-			if err != nil {
-				return res, fmt.Errorf("tuner: gd gradient check (-): %w", err)
-			}
+			probed = append(probed, k)
+			probes = append(probes, current.Step(k, g.params.Delta), current.Step(k, -g.params.Delta))
+		}
+		probeLosses, probeMetrics, err := evalBatch(ctx, prob, probes)
+		if err != nil {
+			return res, fmt.Errorf("tuner: gd gradient check: %w", err)
+		}
+		for j, k := range probed {
+			plus, minus := probes[2*j], probes[2*j+1]
+			lossPlus, lossMinus := probeLosses[2*j], probeLosses[2*j+1]
 			res.TotalEvaluations += 2
-			track(lossPlus, plus, mPlus)
-			track(lossMinus, minus, mMinus)
+			track(lossPlus, plus, probeMetrics[2*j])
+			track(lossMinus, minus, probeMetrics[2*j+1])
 			span := float64(plus.Index(k) - minus.Index(k))
 			if span != 0 {
 				grads[k] = (lossPlus - lossMinus) / span
@@ -205,25 +212,30 @@ func (g *GradientDescent) Run(ctx context.Context, prob Problem) (Result, error)
 			candidates = append(candidates, single.Step(steepest, move))
 		}
 
-		// 4. Evaluate the (distinct) candidates and accept the best one if
-		// it improves on the base configuration.
+		// 4. Evaluate the (distinct) candidates — batched, folded in
+		// candidate order — and accept the best one if it improves on the
+		// base configuration.
 		epochLoss := baseLoss
 		bestCandLoss := math.Inf(1)
 		var bestCand knobs.Config
 		seen := map[string]bool{current.Key(): true}
+		distinct := make([]knobs.Config, 0, len(candidates))
 		for _, cand := range candidates {
 			if seen[cand.Key()] {
 				continue
 			}
 			seen[cand.Key()] = true
-			candLoss, candMetrics, err := evalLoss(prob, eval, cand)
-			if err != nil {
-				return res, fmt.Errorf("tuner: gd step evaluation: %w", err)
-			}
+			distinct = append(distinct, cand)
+		}
+		candLosses, candMetrics, err := evalBatch(ctx, prob, distinct)
+		if err != nil {
+			return res, fmt.Errorf("tuner: gd step evaluation: %w", err)
+		}
+		for i, cand := range distinct {
 			res.TotalEvaluations++
-			track(candLoss, cand, candMetrics)
-			if better(candLoss, bestCandLoss) {
-				bestCandLoss = candLoss
+			track(candLosses[i], cand, candMetrics[i])
+			if better(candLosses[i], bestCandLoss) {
+				bestCandLoss = candLosses[i]
 				bestCand = cand
 			}
 		}

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+
+	"micrograd/internal/knobs"
 )
 
 // RandomSearchParams configures the random-search baseline.
@@ -47,23 +49,29 @@ func (r *RandomSearch) Run(ctx context.Context, prob Problem) (Result, error) {
 		}
 		evalsBefore := res.TotalEvaluations
 		epochBest := math.Inf(1)
-		for i := 0; i < r.params.EvaluationsPerEpoch; i++ {
-			cfg := prob.Space.RandomConfig(rng)
+		// Draw the epoch's samples first (the RNG stream is identical to the
+		// serial loop because evaluations consume no randomness), then
+		// evaluate them as one batch and fold the results in draw order.
+		cfgs := make([]knobs.Config, r.params.EvaluationsPerEpoch)
+		for i := range cfgs {
+			cfgs[i] = prob.Space.RandomConfig(rng)
 			if !prob.Initial.IsZero() && epoch == 0 && i == 0 {
-				cfg = prob.Initial.Clone()
+				cfgs[i] = prob.Initial.Clone()
 			}
-			loss, m, err := evalLoss(prob, prob.Evaluator, cfg)
-			if err != nil {
-				return res, fmt.Errorf("tuner: random search evaluation: %w", err)
-			}
+		}
+		losses, ms, err := evalBatch(ctx, prob, cfgs)
+		if err != nil {
+			return res, fmt.Errorf("tuner: random search evaluation: %w", err)
+		}
+		for i, cfg := range cfgs {
 			res.TotalEvaluations++
-			if loss < epochBest {
-				epochBest = loss
+			if losses[i] < epochBest {
+				epochBest = losses[i]
 			}
-			if better(loss, res.BestLoss) {
-				res.BestLoss = loss
+			if better(losses[i], res.BestLoss) {
+				res.BestLoss = losses[i]
 				res.Best = cfg.Clone()
-				res.BestMetrics = m.Clone()
+				res.BestMetrics = ms[i].Clone()
 			}
 		}
 		res.Epochs = append(res.Epochs, EpochRecord{

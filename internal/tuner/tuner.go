@@ -13,9 +13,12 @@ package tuner
 import (
 	"context"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"micrograd/internal/knobs"
 	"micrograd/internal/metrics"
+	"micrograd/internal/sched"
 )
 
 // Evaluator maps a knob configuration to the metric vector measured on the
@@ -31,13 +34,38 @@ type EvaluatorFunc func(cfg knobs.Config) (metrics.Vector, error)
 // Evaluate implements Evaluator.
 func (f EvaluatorFunc) Evaluate(cfg knobs.Config) (metrics.Vector, error) { return f(cfg) }
 
+// EvaluateAll evaluates every configuration with eval and returns the
+// results in input order. When eval implements sched.BatchEvaluator the batch
+// is fanned out across its worker pool; otherwise the configurations are
+// evaluated serially. Either way results[i] corresponds to cfgs[i] and is
+// identical to what a serial loop would produce, which is what lets the
+// tuners parallelize their hot loops without changing their output.
+func EvaluateAll(ctx context.Context, eval Evaluator, cfgs []knobs.Config) ([]metrics.Vector, error) {
+	if be, ok := eval.(sched.BatchEvaluator); ok {
+		return be.EvaluateBatch(ctx, cfgs)
+	}
+	out := make([]metrics.Vector, len(cfgs))
+	for i, cfg := range cfgs {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		v, err := eval.Evaluate(cfg)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
 // CountingEvaluator wraps an Evaluator and counts evaluations; every tuner
 // uses it so that the resource-efficiency comparison of the paper
 // (evaluations per epoch: 2×knobs for GD vs population size for GA) can be
-// reproduced exactly.
+// reproduced exactly. It is safe for concurrent use when the wrapped
+// evaluator is.
 type CountingEvaluator struct {
 	inner Evaluator
-	count int
+	count atomic.Int64
 }
 
 // NewCountingEvaluator wraps inner.
@@ -47,44 +75,189 @@ func NewCountingEvaluator(inner Evaluator) *CountingEvaluator {
 
 // Evaluate implements Evaluator.
 func (c *CountingEvaluator) Evaluate(cfg knobs.Config) (metrics.Vector, error) {
-	c.count++
+	c.count.Add(1)
 	return c.inner.Evaluate(cfg)
 }
 
+// EvaluateBatch implements sched.BatchEvaluator, forwarding to the wrapped
+// evaluator's batch path when it has one.
+func (c *CountingEvaluator) EvaluateBatch(ctx context.Context, cfgs []knobs.Config) ([]metrics.Vector, error) {
+	c.count.Add(int64(len(cfgs)))
+	return EvaluateAll(ctx, c.inner, cfgs)
+}
+
 // Count returns the number of evaluations served.
-func (c *CountingEvaluator) Count() int { return c.count }
+func (c *CountingEvaluator) Count() int { return int(c.count.Load()) }
+
+// flight is one in-progress evaluation inside a MemoizingEvaluator; callers
+// that request a key already being evaluated wait on done instead of paying
+// for a duplicate simulation (single-flight deduplication).
+type flight struct {
+	done chan struct{}
+	v    metrics.Vector
+	err  error
+}
 
 // MemoizingEvaluator wraps an Evaluator with a cache keyed on the knob
 // configuration, so that revisiting a configuration (common late in GA runs
 // and in brute-force sweeps) does not pay for a second simulation. The
 // evaluation count of the wrapped CountingEvaluator still reflects real
 // simulator work only.
+//
+// It is safe for concurrent use: the cache is lock-guarded and concurrent
+// evaluations of the same configuration are deduplicated single-flight, so a
+// configuration is simulated at most once no matter how many workers ask for
+// it simultaneously. Failed evaluations are not cached; a later call retries.
 type MemoizingEvaluator struct {
-	inner Evaluator
-	cache map[string]metrics.Vector
+	inner   Evaluator
+	mu      sync.Mutex
+	cache   map[string]metrics.Vector
+	flights map[string]*flight
 }
 
 // NewMemoizingEvaluator wraps inner with an unbounded cache.
 func NewMemoizingEvaluator(inner Evaluator) *MemoizingEvaluator {
-	return &MemoizingEvaluator{inner: inner, cache: make(map[string]metrics.Vector)}
+	return &MemoizingEvaluator{
+		inner:   inner,
+		cache:   make(map[string]metrics.Vector),
+		flights: make(map[string]*flight),
+	}
 }
 
-// Evaluate implements Evaluator.
+// Evaluate implements Evaluator with single-flight deduplication.
 func (m *MemoizingEvaluator) Evaluate(cfg knobs.Config) (metrics.Vector, error) {
 	key := cfg.Key()
+	m.mu.Lock()
 	if v, ok := m.cache[key]; ok {
+		m.mu.Unlock()
 		return v.Clone(), nil
 	}
+	if f, ok := m.flights[key]; ok {
+		m.mu.Unlock()
+		<-f.done
+		if f.err != nil {
+			return nil, f.err
+		}
+		return f.v.Clone(), nil
+	}
+	f := &flight{done: make(chan struct{})}
+	m.flights[key] = f
+	m.mu.Unlock()
+
 	v, err := m.inner.Evaluate(cfg)
+	m.settle(key, f, v, err)
 	if err != nil {
 		return nil, err
 	}
-	m.cache[key] = v.Clone()
 	return v, nil
 }
 
+// settle records a finished flight: successful results enter the cache, the
+// flight is removed, and every waiter is released.
+func (m *MemoizingEvaluator) settle(key string, f *flight, v metrics.Vector, err error) {
+	m.mu.Lock()
+	if err == nil {
+		m.cache[key] = v.Clone()
+	}
+	f.v, f.err = v, err
+	delete(m.flights, key)
+	m.mu.Unlock()
+	close(f.done)
+}
+
+// EvaluateBatch implements sched.BatchEvaluator. Cached configurations are
+// answered immediately, duplicates within the batch (and against concurrent
+// callers) are evaluated once, and only the remaining unique misses are
+// forwarded — as one batch — to the wrapped evaluator.
+func (m *MemoizingEvaluator) EvaluateBatch(ctx context.Context, cfgs []knobs.Config) ([]metrics.Vector, error) {
+	out := make([]metrics.Vector, len(cfgs))
+	type miss struct {
+		key string
+		f   *flight
+	}
+	var (
+		misses   []miss              // unique keys this call must evaluate
+		missCfgs []knobs.Config      // their configurations, same order
+		waits    = map[int]*flight{} // output index -> flight owned elsewhere
+		keyOf    = make([]string, len(cfgs))
+	)
+	m.mu.Lock()
+	started := map[string]bool{}
+	for i, cfg := range cfgs {
+		key := cfg.Key()
+		keyOf[i] = key
+		if v, ok := m.cache[key]; ok {
+			out[i] = v.Clone()
+			continue
+		}
+		if started[key] {
+			continue // resolved below from this batch's own results
+		}
+		if f, ok := m.flights[key]; ok {
+			waits[i] = f
+			continue
+		}
+		f := &flight{done: make(chan struct{})}
+		m.flights[key] = f
+		started[key] = true
+		misses = append(misses, miss{key: key, f: f})
+		missCfgs = append(missCfgs, cfg)
+	}
+	m.mu.Unlock()
+
+	var batchErr error
+	if len(missCfgs) > 0 {
+		vs, err := EvaluateAll(ctx, m.inner, missCfgs)
+		batchErr = err
+		for j, ms := range misses {
+			var v metrics.Vector
+			if err == nil {
+				v = vs[j]
+			}
+			m.settle(ms.key, ms.f, v, err)
+		}
+	}
+
+	// Wait for flights owned by concurrent callers even on error, so no
+	// goroutine is left blocked on state we are about to abandon.
+	for i, f := range waits {
+		<-f.done
+		if f.err != nil {
+			if batchErr == nil {
+				batchErr = f.err
+			}
+			continue
+		}
+		out[i] = f.v.Clone()
+	}
+	if batchErr != nil {
+		return nil, batchErr
+	}
+
+	// Fill remaining slots (duplicates within the batch) from the cache.
+	m.mu.Lock()
+	for i := range out {
+		if out[i] == nil {
+			if v, ok := m.cache[keyOf[i]]; ok {
+				out[i] = v.Clone()
+			}
+		}
+	}
+	m.mu.Unlock()
+	for i := range out {
+		if out[i] == nil {
+			return nil, fmt.Errorf("tuner: memoizer lost result for configuration %q", keyOf[i])
+		}
+	}
+	return out, nil
+}
+
 // CacheSize returns the number of cached configurations.
-func (m *MemoizingEvaluator) CacheSize() int { return len(m.cache) }
+func (m *MemoizingEvaluator) CacheSize() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.cache)
+}
 
 // Problem is one tuning task.
 type Problem struct {
@@ -193,6 +366,21 @@ func evalLoss(prob Problem, eval Evaluator, cfg knobs.Config) (float64, metrics.
 		return 0, nil, err
 	}
 	return prob.Loss.Loss(v), v, nil
+}
+
+// evalBatch evaluates every candidate configuration (in parallel when the
+// problem's evaluator supports batching) and scores each with the problem
+// loss. losses[i] and vectors[i] correspond to cfgs[i].
+func evalBatch(ctx context.Context, prob Problem, cfgs []knobs.Config) ([]float64, []metrics.Vector, error) {
+	vs, err := EvaluateAll(ctx, prob.Evaluator, cfgs)
+	if err != nil {
+		return nil, nil, err
+	}
+	losses := make([]float64, len(vs))
+	for i, v := range vs {
+		losses[i] = prob.Loss.Loss(v)
+	}
+	return losses, vs, nil
 }
 
 // better reports whether candidate loss a is strictly better than b.
