@@ -4,7 +4,11 @@
 
 GO ?= go
 
-.PHONY: build test race bench fmt vet ci
+# Coverage ratchet: `make cover` fails if total statement coverage drops
+# below this. Raise it when coverage grows; never lower it.
+COVER_MIN ?= 80.0
+
+.PHONY: build test race bench fmt vet fuzz cover smoke ci
 
 build:
 	$(GO) build ./...
@@ -29,4 +33,22 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-ci: fmt vet build race bench
+# Short fuzz smoke runs of every fuzz target (one -fuzz per package).
+fuzz:
+	$(GO) test -fuzz=FuzzEmit -fuzztime=10s -run='^$$' ./internal/program
+	$(GO) test -fuzz=FuzzParse -fuzztime=10s -run='^$$' ./internal/config
+
+cover:
+	$(GO) test -coverprofile=coverage.out ./...
+	@total="$$($(GO) tool cover -func=coverage.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}')"; \
+	echo "total coverage: $$total% (minimum $(COVER_MIN)%)"; \
+	ok="$$(awk -v t="$$total" -v m="$(COVER_MIN)" 'BEGIN { print (t+0 >= m+0) ? 1 : 0 }')"; \
+	if [ "$$ok" != "1" ]; then \
+		echo "coverage $$total% fell below the $(COVER_MIN)% ratchet"; \
+		exit 1; \
+	fi
+
+smoke:
+	./scripts/smoke.sh
+
+ci: fmt vet build race bench fuzz cover smoke

@@ -6,7 +6,14 @@
 //	mgbench -experiment fig2 -csv out/ # also dump CSV data for plotting
 //
 // Experiments: tableI, tableII, fig2, fig3, fig4, fig5, fig6, tableIII,
-// summary, all.
+// stresscmp, summary, all.
+//
+// Alternatively -kind runs a single stress test of any built-in kind
+// (perf-virus, power-virus, voltage-noise-virus, thermal-virus) on the core
+// selected with -core, and -trace dumps the tuned kernel's windowed power
+// trace as CSV:
+//
+//	mgbench -kind voltage-noise-virus -quick -core small -trace trace.csv
 package main
 
 import (
@@ -23,6 +30,7 @@ import (
 	"micrograd/internal/experiments"
 	"micrograd/internal/metrics"
 	"micrograd/internal/report"
+	"micrograd/internal/stress"
 )
 
 func main() {
@@ -35,7 +43,7 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("mgbench", flag.ContinueOnError)
 	var (
-		experiment = fs.String("experiment", "all", "experiment to run: tableI, tableII, fig2, fig3, fig4, fig5, fig6, tableIII, summary, all")
+		experiment = fs.String("experiment", "all", "experiment to run: tableI, tableII, fig2, fig3, fig4, fig5, fig6, tableIII, stresscmp, summary, all")
 		quick      = fs.Bool("quick", false, "use the reduced quick budget (3 benchmarks, short simulations)")
 		csvDir     = fs.String("csv", "", "directory to write CSV data files into (empty = don't write)")
 		dynInstr   = fs.Int("instructions", 0, "override dynamic instructions per evaluation")
@@ -43,6 +51,9 @@ func run(args []string, out io.Writer) error {
 		seed       = fs.Int64("seed", 0, "override random seed")
 		benchList  = fs.String("benchmarks", "", "comma-separated benchmark subset (default: all eight)")
 		parallel   = fs.Int("parallel", runtime.GOMAXPROCS(0), "worker count of the parallel evaluation engine (1 = serial; results are identical at any count)")
+		kind       = fs.String("kind", "", "run a single stress test of this kind instead of an experiment: perf-virus, power-virus, voltage-noise-virus, thermal-virus")
+		coreName   = fs.String("core", "large", "core the -kind stress test runs on: small or large")
+		tracePath  = fs.String("trace", "", "file to write the -kind kernel's windowed power trace into (CSV; empty = don't write)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -70,7 +81,34 @@ func run(args []string, out io.Writer) error {
 
 	ctx := context.Background()
 	runner := &suite{out: out, csvDir: *csvDir, budget: budget}
+	if *kind != "" {
+		return runner.runKind(ctx, *kind, *coreName, *tracePath)
+	}
 	return runner.run(ctx, strings.ToLower(*experiment))
+}
+
+// runKind runs one stress test of the given kind and optionally dumps the
+// tuned kernel's power trace.
+func (s *suite) runKind(ctx context.Context, kindName, coreName, tracePath string) error {
+	kind, err := stress.KindByName(kindName)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	run, err := experiments.RunStressKind(ctx, kind, coreName, s.budget)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(s.out, run.Render())
+	fmt.Fprintf(s.out, "[%s completed in %s]\n", kind, time.Since(start).Round(time.Millisecond))
+	if tracePath == "" {
+		return nil
+	}
+	if err := writeCSVFile(tracePath, run.Trace.WriteCSV); err != nil {
+		return err
+	}
+	fmt.Fprintf(s.out, "power trace (%d windows) written to %s\n", len(run.Trace.Points), tracePath)
+	return nil
 }
 
 // suite executes experiments and holds shared state (Fig. 2 results feed the
@@ -89,7 +127,7 @@ type suite struct {
 func (s *suite) run(ctx context.Context, which string) error {
 	order := []string{which}
 	if which == "all" {
-		order = []string{"tablei", "tableii", "fig2", "fig3", "fig4", "fig5", "fig6", "tableiii", "summary"}
+		order = []string{"tablei", "tableii", "fig2", "fig3", "fig4", "fig5", "fig6", "tableiii", "stresscmp", "summary"}
 	}
 	for _, exp := range order {
 		start := time.Now()
@@ -159,6 +197,12 @@ func (s *suite) runOne(ctx context.Context, which string) error {
 			s.fig6 = &res
 		}
 		fmt.Fprintln(s.out, experiments.TableIIIFrom(s.fig6.GD).Render())
+	case "stresscmp":
+		res, err := experiments.RunStressCompare(ctx, s.budget)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(s.out, res.Render())
 	case "summary":
 		if err := s.ensureSummaryInputs(ctx); err != nil {
 			return err

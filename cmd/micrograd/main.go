@@ -38,7 +38,7 @@ func run(args []string, out *os.File) error {
 		useCase    = fs.String("use-case", config.UseCaseCloning, "use case: cloning or stress")
 		benchmark  = fs.String("benchmark", "", "reference application to clone (astar, bzip2, gcc, hmmer, libquantum, mcf, sjeng, xalancbmk)")
 		simpoints  = fs.Bool("simpoints", false, "clone every phase (simpoint) of the benchmark individually")
-		stressKind = fs.String("stress-kind", "perf-virus", "stress kind: perf-virus or power-virus")
+		stressKind = fs.String("stress-kind", "perf-virus", "stress kind: perf-virus, power-virus, voltage-noise-virus or thermal-virus")
 		coreName   = fs.String("core", "large", "core configuration: small or large (Table II)")
 		tunerName  = fs.String("tuner", "gd", "tuning mechanism: gd, ga, random, bruteforce")
 		epochs     = fs.Int("epochs", 0, "maximum tuning epochs (0 = use-case default)")

@@ -66,7 +66,8 @@ type Config struct {
 	// default nine cloning metrics).
 	Metrics []string `json:"metrics,omitempty"`
 
-	// StressKind selects "perf-virus" or "power-virus".
+	// StressKind selects "perf-virus", "power-virus", "voltage-noise-virus"
+	// or "thermal-virus".
 	StressKind string `json:"stress_kind,omitempty"`
 	// StressMetric optionally overrides the stressed metric; Maximize sets
 	// the direction for custom metrics.

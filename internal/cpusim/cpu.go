@@ -47,6 +47,11 @@ type Config struct {
 	// MispredictPenalty is the front-end refill penalty in cycles after a
 	// mispredicted branch resolves.
 	MispredictPenalty int
+	// WindowCycles partitions the run into fixed-length activity windows of
+	// this many cycles and records per-window statistics in Result.Windows,
+	// the raw material for transient power analyses (dI/dt, voltage droop,
+	// thermal). Zero disables window bookkeeping; it never affects timing.
+	WindowCycles int
 }
 
 // Validate checks the configuration.
@@ -66,7 +71,34 @@ func (c Config) Validate() error {
 	if c.MispredictPenalty < 0 {
 		return fmt.Errorf("cpusim: negative mispredict penalty")
 	}
+	if c.WindowCycles < 0 {
+		return fmt.Errorf("cpusim: negative window size")
+	}
 	return nil
+}
+
+// Window holds the activity of one fixed-length cycle window of a run.
+// Instructions and their events are attributed to the window containing
+// their completion (execution) cycle — not their retire cycle — so that a
+// dependency-stalled stretch shows the functional units' actual energy flow
+// instead of an artificial retirement burst. Window event counts are
+// per-instruction attributions and may differ slightly from the run's
+// aggregate cache statistics (prefetches are not attributed to windows).
+type Window struct {
+	// Cycles is the window length; the final window of a run may be shorter.
+	Cycles uint64
+	// Instructions is the number of instructions that completed execution in
+	// the window.
+	Instructions uint64
+	// ClassCounts counts completed instructions per class, indexed by
+	// isa.Class.
+	ClassCounts [isa.NumClasses]uint64
+	// L2Accesses counts L2 accesses (demand plus prefetch fills).
+	L2Accesses uint64
+	// MemAccesses counts accesses that reached main memory.
+	MemAccesses uint64
+	// Mispredicts counts branch mispredictions.
+	Mispredicts uint64
 }
 
 // Result holds the statistics of one simulation run.
@@ -88,6 +120,10 @@ type Result struct {
 	// MemAccesses is the number of accesses that reached main memory
 	// (L2 demand misses), used by the power model's DRAM term.
 	MemAccesses uint64
+	// Windows is the per-window activity breakdown of the run, present when
+	// Config.WindowCycles > 0. Windows are contiguous, in cycle order, and
+	// their Cycles/Instructions sum to the run totals.
+	Windows []Window
 	// Config echoes the core configuration of the run.
 	Config Config
 }
@@ -164,13 +200,21 @@ func (c *CPU) Run(p *program.Program, dynInstrs int, seed int64) (Result, error)
 	var classCounts [isa.NumClasses]uint64
 	var unitOps [isa.NumUnitKinds]uint64
 
+	var wt *windowTracker
+	if c.cfg.WindowCycles > 0 {
+		wt = newWindowTracker(uint64(c.cfg.WindowCycles))
+	}
+
 	for i := 0; i < dynInstrs; i++ {
 		entry := exp.Next()
 		in := p.Instructions[entry.Static]
 		d := isa.Describe(in.Op)
 		classCounts[d.Class]++
 		unitOps[d.Unit]++
-		c.step(st, in, d, entry)
+		ev := c.step(st, in, d, entry)
+		if wt != nil {
+			wt.observe(ev, d.Class)
+		}
 	}
 	for cl, n := range classCounts {
 		if n > 0 {
@@ -194,7 +238,67 @@ func (c *CPU) Run(p *program.Program, dynInstrs int, seed int64) (Result, error)
 	res.DTLB = c.mem.DTLB().Stats()
 	res.Branch = c.pred.Stats()
 	res.MemAccesses = res.L2.Misses
+	if wt != nil {
+		res.Windows = wt.finish(st.lastRetire)
+	}
 	return res, nil
+}
+
+// stepEvents is what one instruction did, as reported by the scoreboard:
+// when its execution completed and which energy-relevant events it caused.
+type stepEvents struct {
+	complete   uint64
+	l2, mem    uint8 // number of L2 / main-memory accesses (0..2: fetch + data)
+	mispredict bool
+}
+
+// windowTracker accumulates per-window activity during a run. Attribution is
+// by completion cycle, which is not monotonic across instructions (a ready
+// ALU operation completes while an older divide chain is still executing),
+// so windows are kept addressable until the run ends.
+type windowTracker struct {
+	size uint64
+	wins []Window
+}
+
+func newWindowTracker(size uint64) *windowTracker {
+	return &windowTracker{size: size}
+}
+
+// observe attributes one instruction and its events to the window containing
+// its completion cycle.
+func (w *windowTracker) observe(ev stepEvents, class isa.Class) {
+	idx := int((ev.complete - 1) / w.size)
+	for len(w.wins) <= idx {
+		w.wins = append(w.wins, Window{})
+	}
+	win := &w.wins[idx]
+	win.Instructions++
+	win.ClassCounts[class]++
+	win.L2Accesses += uint64(ev.l2)
+	win.MemAccesses += uint64(ev.mem)
+	if ev.mispredict {
+		win.Mispredicts++
+	}
+}
+
+// finish sizes the window sequence to cover the whole run and fills in the
+// window lengths (the final window may be partial).
+func (w *windowTracker) finish(lastRetire uint64) []Window {
+	if lastRetire == 0 {
+		return nil
+	}
+	n := int((lastRetire + w.size - 1) / w.size)
+	for len(w.wins) < n {
+		w.wins = append(w.wins, Window{})
+	}
+	for i := range w.wins {
+		w.wins[i].Cycles = w.size
+	}
+	if tail := lastRetire - uint64(n-1)*w.size; tail > 0 {
+		w.wins[n-1].Cycles = tail
+	}
+	return w.wins
 }
 
 // coreState is the per-run scoreboard.
@@ -247,15 +351,22 @@ func newCoreState(cfg Config) *coreState {
 	return st
 }
 
-// step advances the scoreboard by one dynamic instruction.
-func (c *CPU) step(st *coreState, in program.Instruction, d isa.Descriptor, entry trace.Entry) {
+// step advances the scoreboard by one dynamic instruction and reports the
+// instruction's completion cycle and energy-relevant events.
+func (c *CPU) step(st *coreState, in program.Instruction, d isa.Descriptor, entry trace.Entry) stepEvents {
 	cfg := st.cfg
+	var ev stepEvents
+	memCfg := c.mem.Config()
 
 	// Front end: instruction fetch through the I-cache. A miss delays
 	// delivery of this (and following) instructions.
 	fetchLat := c.mem.AccessInstr(entry.PC)
-	if extra := fetchLat - c.mem.Config().L1I.HitLatency; extra > 0 {
+	if extra := fetchLat - memCfg.L1I.HitLatency; extra > 0 {
 		st.fetchReady += uint64(extra)
+		ev.l2++
+		if fetchLat >= memCfg.MemLatency {
+			ev.mem++
+		}
 	}
 
 	// Dispatch: bounded by front-end width, fetch availability, and window
@@ -315,14 +426,23 @@ func (c *CPU) step(st *coreState, in program.Instruction, d isa.Descriptor, entr
 	// memory operations.
 	latency := uint64(d.Latency)
 	if d.Class == isa.ClassLoad || d.Class == isa.ClassStore {
-		latency = uint64(c.mem.AccessData(entry.Addr, d.Class == isa.ClassStore))
+		dataLat := c.mem.AccessData(entry.Addr, d.Class == isa.ClassStore)
+		latency = uint64(dataLat)
+		if dataLat > memCfg.L1D.HitLatency {
+			ev.l2++
+			if dataLat >= memCfg.MemLatency {
+				ev.mem++
+			}
+		}
 	}
 	complete := issue + latency
+	ev.complete = complete
 
 	// Branch resolution: a mispredicted conditional branch stalls the front
 	// end until it resolves plus the refill penalty.
 	if d.IsCondBr {
 		if c.pred.Predict(entry.PC, entry.Taken) {
+			ev.mispredict = true
 			redirect := complete + uint64(cfg.MispredictPenalty)
 			if redirect > st.fetchReady {
 				st.fetchReady = redirect
@@ -361,4 +481,5 @@ func (c *CPU) step(st *coreState, in program.Instruction, d isa.Descriptor, entr
 	} else {
 		st.dispatchCycle = dispatch
 	}
+	return ev
 }

@@ -1,0 +1,128 @@
+package cpusim
+
+import (
+	"testing"
+
+	"micrograd/internal/isa"
+)
+
+// windowedCore returns the small test core with window bookkeeping enabled.
+func windowedCore(winCycles int) Config {
+	cfg := smallCore()
+	cfg.WindowCycles = winCycles
+	return cfg
+}
+
+func TestWindowConfigValidation(t *testing.T) {
+	cfg := windowedCore(-1)
+	if err := cfg.Validate(); err == nil {
+		t.Error("negative window size should be rejected")
+	}
+	if err := windowedCore(0).Validate(); err != nil {
+		t.Errorf("zero window size (disabled) should validate: %v", err)
+	}
+	if err := windowedCore(64).Validate(); err != nil {
+		t.Errorf("positive window size should validate: %v", err)
+	}
+}
+
+func TestNoWindowsWhenDisabled(t *testing.T) {
+	p := genProgram(t, nil)
+	res := runOn(t, smallCore(), smallHier(t), p, 4000)
+	if res.Windows != nil {
+		t.Errorf("window bookkeeping disabled but got %d windows", len(res.Windows))
+	}
+}
+
+func TestWindowsCoverRunExactly(t *testing.T) {
+	const winCycles = 64
+	p := genProgram(t, nil)
+	res := runOn(t, windowedCore(winCycles), smallHier(t), p, 4000)
+	if len(res.Windows) == 0 {
+		t.Fatal("no windows recorded")
+	}
+
+	var cycles, instrs uint64
+	var classTotals [isa.NumClasses]uint64
+	for i, w := range res.Windows {
+		if i < len(res.Windows)-1 && w.Cycles != winCycles {
+			t.Fatalf("window %d has %d cycles, want %d", i, w.Cycles, winCycles)
+		}
+		if w.Cycles == 0 || w.Cycles > winCycles {
+			t.Fatalf("window %d has impossible length %d", i, w.Cycles)
+		}
+		cycles += w.Cycles
+		instrs += w.Instructions
+		for cl, n := range w.ClassCounts {
+			classTotals[cl] += n
+		}
+	}
+	if cycles != res.Cycles {
+		t.Errorf("window cycles sum to %d, run took %d", cycles, res.Cycles)
+	}
+	if instrs != res.Instructions {
+		t.Errorf("window instructions sum to %d, run executed %d", instrs, res.Instructions)
+	}
+	for cl, n := range classTotals {
+		if want := res.ClassCounts[isa.Class(cl)]; n != want {
+			t.Errorf("class %v: windows count %d, run counted %d", isa.Class(cl), n, want)
+		}
+	}
+}
+
+func TestWindowTimingUnaffectedByBookkeeping(t *testing.T) {
+	p := genProgram(t, nil)
+	plain := runOn(t, smallCore(), smallHier(t), p, 4000)
+	windowed := runOn(t, windowedCore(64), smallHier(t), p, 4000)
+	if plain.Cycles != windowed.Cycles || plain.Instructions != windowed.Instructions {
+		t.Errorf("window bookkeeping changed timing: %d/%d cycles, %d/%d instructions",
+			plain.Cycles, windowed.Cycles, plain.Instructions, windowed.Instructions)
+	}
+	if plain.Branch != windowed.Branch || plain.L1D != windowed.L1D {
+		t.Error("window bookkeeping changed cache or branch statistics")
+	}
+}
+
+func TestWindowsDeterministic(t *testing.T) {
+	p := genProgram(t, nil)
+	a := runOn(t, windowedCore(64), smallHier(t), p, 4000)
+	b := runOn(t, windowedCore(64), smallHier(t), p, 4000)
+	if len(a.Windows) != len(b.Windows) {
+		t.Fatalf("window counts differ: %d vs %d", len(a.Windows), len(b.Windows))
+	}
+	for i := range a.Windows {
+		if a.Windows[i] != b.Windows[i] {
+			t.Fatalf("window %d differs between identical runs", i)
+		}
+	}
+}
+
+func TestWindowEventsRoughlyMatchAggregates(t *testing.T) {
+	// A large-footprint strided kernel produces real L2 and memory traffic;
+	// per-instruction window attribution must account for the same order of
+	// magnitude (prefetches are not attributed, so exact equality is not
+	// expected).
+	p := genProgram(t, map[string]float64{
+		"LD": 10, "SD": 5, "ADD": 3, "MEM_SIZE": 2048, "MEM_STRIDE": 64,
+	})
+	res := runOn(t, windowedCore(64), smallHier(t), p, 8000)
+	var l2, mem, misp uint64
+	for _, w := range res.Windows {
+		l2 += w.L2Accesses
+		mem += w.MemAccesses
+		misp += w.Mispredicts
+	}
+	if l2 == 0 || mem == 0 {
+		t.Fatalf("strided kernel should hit L2 (%d) and memory (%d) in windows", l2, mem)
+	}
+	aggL2 := res.L2.Accesses + res.L2.Prefetches
+	if l2 > 2*aggL2 || aggL2 > 2*l2 {
+		t.Errorf("window L2 accesses %d far from aggregate %d", l2, aggL2)
+	}
+	if mem > 2*res.MemAccesses || res.MemAccesses > 2*mem {
+		t.Errorf("window memory accesses %d far from aggregate %d", mem, res.MemAccesses)
+	}
+	if misp != res.Branch.Mispredicts {
+		t.Errorf("window mispredicts %d, aggregate %d", misp, res.Branch.Mispredicts)
+	}
+}

@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"micrograd/internal/metrics"
+	"micrograd/internal/platform"
+	"micrograd/internal/stress"
+)
+
+// transientBudget keeps transient experiment tests fast.
+func transientBudget() Budget {
+	return Budget{
+		DynamicInstructions: 5000,
+		StressEpochs:        4,
+		LoopSize:            200,
+		Seed:                1,
+	}
+}
+
+func TestRunStressKindCharacterizesKernel(t *testing.T) {
+	run, err := RunStressKind(context.Background(), stress.VoltageNoiseVirus, "small", transientBudget())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Kind != stress.VoltageNoiseVirus || run.Core != platform.SmallCore {
+		t.Errorf("run identifies as %s on %s", run.Kind, run.Core)
+	}
+	for _, name := range []string{metrics.DynamicPowerW, metrics.WorstDroopMV, metrics.TempC} {
+		if _, ok := run.Full[name]; !ok {
+			t.Errorf("characterization missing %s", name)
+		}
+	}
+	if run.Trace.Empty() {
+		t.Error("characterization should include a power trace")
+	}
+	out := run.Render()
+	for _, want := range []string{"voltage-noise-virus", "worst droop", "dI/dt"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered run missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunStressKindRejectsUnknownCore(t *testing.T) {
+	if _, err := RunStressKind(context.Background(), stress.PerfVirus, "medium", transientBudget()); err == nil {
+		t.Error("unknown core should be rejected")
+	}
+}
+
+func TestRunStressKindParallelMatchesSerial(t *testing.T) {
+	serial, err := RunStressKind(context.Background(), stress.ThermalVirus, "small", transientBudget())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb := transientBudget()
+	pb.Parallel = 4
+	par, err := RunStressKind(context.Background(), stress.ThermalVirus, "small", pb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Report.BestValue != par.Report.BestValue {
+		t.Errorf("parallel best %v differs from serial %v", par.Report.BestValue, serial.Report.BestValue)
+	}
+	if serial.Report.Config.Key() != par.Report.Config.Key() {
+		t.Error("parallel best configuration differs from serial")
+	}
+}
+
+func TestRunStressCompareCoversAllKinds(t *testing.T) {
+	res, err := RunStressCompare(context.Background(), transientBudget())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Runs) != len(stress.Kinds()) {
+		t.Fatalf("comparison has %d runs, want %d", len(res.Runs), len(stress.Kinds()))
+	}
+	seen := map[stress.Kind]bool{}
+	for _, run := range res.Runs {
+		seen[run.Kind] = true
+	}
+	for _, k := range stress.Kinds() {
+		if !seen[k] {
+			t.Errorf("comparison missing kind %s", k)
+		}
+	}
+	out := res.Render()
+	for _, k := range stress.Kinds() {
+		if !strings.Contains(out, string(k)) {
+			t.Errorf("rendered table missing %s:\n%s", k, out)
+		}
+	}
+}

@@ -180,6 +180,14 @@ type Settings struct {
 	// BranchRandomRatio is the fraction of conditional branches whose
 	// direction is randomized (1.0 = fully random, hard to predict).
 	BranchRandomRatio float64
+	// DutyCycle is the active fraction of each activity burst: 1.0 (or 0,
+	// meaning "not configured") keeps the whole kernel busy, smaller values
+	// idle (NOP) the tail of every burst period, creating an oscillating
+	// power draw.
+	DutyCycle float64
+	// BurstLen is the activity burst period in static instructions. It only
+	// matters when DutyCycle is in (0,1).
+	BurstLen int
 }
 
 // DefaultSettings returns the settings used when a knob is absent from the
@@ -194,6 +202,8 @@ func DefaultSettings() Settings {
 		MemTemp1:          16,
 		MemTemp2:          4,
 		BranchRandomRatio: 0.1,
+		DutyCycle:         1,
+		BurstLen:          64,
 	}
 }
 
@@ -221,6 +231,10 @@ func (c Config) Settings() Settings {
 			s.MemTemp2 = int(v)
 		case KindBranchPattern:
 			s.BranchRandomRatio = v
+		case KindDutyCycle:
+			s.DutyCycle = v
+		case KindBurstLen:
+			s.BurstLen = int(v)
 		}
 	}
 	if !hasInstr {
@@ -284,6 +298,15 @@ func (s Settings) Validate() error {
 	}
 	if s.BranchRandomRatio < 0 || s.BranchRandomRatio > 1 {
 		return fmt.Errorf("knobs: branch random ratio %v outside [0,1]", s.BranchRandomRatio)
+	}
+	if s.DutyCycle < 0 || s.DutyCycle > 1 {
+		return fmt.Errorf("knobs: duty cycle %v outside [0,1]", s.DutyCycle)
+	}
+	if s.BurstLen < 0 {
+		return fmt.Errorf("knobs: negative burst length %d", s.BurstLen)
+	}
+	if s.DutyCycle > 0 && s.DutyCycle < 1 && s.BurstLen < 2 {
+		return fmt.Errorf("knobs: duty cycling needs a burst length >= 2, have %d", s.BurstLen)
 	}
 	return nil
 }

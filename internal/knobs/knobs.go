@@ -28,6 +28,8 @@ const (
 	KindMemTemp1                  // temporal locality: how many accesses repeat
 	KindMemTemp2                  // temporal locality: how often accesses repeat
 	KindBranchPattern             // fraction of randomized branch directions
+	KindDutyCycle                 // fraction of each activity burst that executes real work
+	KindBurstLen                  // activity burst period in static instructions
 	numKinds
 )
 
@@ -48,6 +50,10 @@ func (k Kind) String() string {
 		return "mem-temp2"
 	case KindBranchPattern:
 		return "branch-pattern"
+	case KindDutyCycle:
+		return "duty-cycle"
+	case KindBurstLen:
+		return "burst-len"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -134,6 +140,8 @@ var (
 	memTemp1Values      = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512}
 	memTemp2Values      = []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
 	branchPatternValues = []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
+	dutyCycleValues     = []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
+	burstLenValues      = []float64{16, 24, 32, 48, 64, 96, 128, 192, 256, 384} // instructions
 )
 
 // Canonical knob names.
@@ -144,6 +152,8 @@ const (
 	NameMemTemp1      = "MEM_TEMP1"
 	NameMemTemp2      = "MEM_TEMP2"
 	NameBranchPattern = "B_PATTERN"
+	NameDutyCycle     = "DUTY_CYCLE"
+	NameBurstLen      = "BURST_LEN"
 )
 
 // instrKnobName maps a knob opcode to its Listing-1 knob name.
@@ -199,5 +209,17 @@ func nonInstrDefs() []Def {
 		{Name: NameMemTemp1, Kind: KindMemTemp1, Values: append([]float64(nil), memTemp1Values...)},
 		{Name: NameMemTemp2, Kind: KindMemTemp2, Values: append([]float64(nil), memTemp2Values...)},
 		{Name: NameBranchPattern, Kind: KindBranchPattern, Values: append([]float64(nil), branchPatternValues...)},
+	}
+}
+
+// dutyCycleDefs returns the duty-cycle/burst knob definitions that phase the
+// generated kernel's activity: DUTY_CYCLE is the active fraction of each
+// burst period, BURST_LEN the period in static instructions. Together they
+// let a stress tuner shape the power waveform — e.g. align activity bursts
+// with the supply network's resonant frequency to maximize voltage droop.
+func dutyCycleDefs() []Def {
+	return []Def{
+		{Name: NameDutyCycle, Kind: KindDutyCycle, Values: append([]float64(nil), dutyCycleValues...)},
+		{Name: NameBurstLen, Kind: KindBurstLen, Values: append([]float64(nil), burstLenValues...)},
 	}
 }

@@ -69,6 +69,17 @@ func StressSpace() *Space {
 	return MustSpace(defs)
 }
 
+// TransientStressSpace returns the space used for the transient stress
+// viruses (voltage noise and thermal): the power-virus space extended with
+// the duty-cycle and burst-length knobs, which let the tuner shape — and
+// phase-align — the kernel's activity bursts.
+func TransientStressSpace() *Space {
+	defs := instrFractionDefs()
+	defs = append(defs, Def{Name: NameRegDist, Kind: KindRegDist, Values: append([]float64(nil), regDistValues...)})
+	defs = append(defs, dutyCycleDefs()...)
+	return MustSpace(defs)
+}
+
 // Len returns the number of knobs in the space.
 func (s *Space) Len() int { return len(s.defs) }
 

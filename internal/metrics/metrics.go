@@ -30,6 +30,10 @@ const (
 	DTLBMissRate         = "dtlb_miss_rate"
 	Instructions         = "instructions"
 	Cycles               = "cycles"
+	// Transient-power metrics derived from the windowed power trace.
+	WorstDroopMV     = "worst_droop_mv"     // worst-case supply voltage droop
+	MaxDIDTWPerCycle = "max_didt_w_per_cyc" // largest window-to-window power step
+	TempC            = "temp_c"             // steady-state hotspot temperature
 )
 
 // CloningMetricNames returns the metric set the cloning use case targets by

@@ -169,6 +169,65 @@ func (p SetInstructionTypeByProfilePass) Apply(b *Builder) error {
 	return nil
 }
 
+// DutyCyclePass shapes the loop body into activity bursts: within every
+// period of BurstLen static instructions, the trailing (1-Duty) fraction is
+// replaced by a serialized chain of long-latency divides on a reserved
+// register. Each throttle instruction stalls the pipeline for its full
+// latency while dissipating almost nothing, so the kernel alternates between
+// full-power activity and long near-idle stretches whose period the tuner
+// controls — the raw material for dI/dt (voltage-droop) stress testing. A
+// dependent divide chain is used instead of NOPs because NOPs retire at the
+// full front-end width: they would make the idle phase short and merely
+// dilute the burst instead of creating a deep, long power trough.
+//
+// The pass must run after register allocation: it wires the chain through a
+// reserved register (isa.RegTP) that the allocator never hands out, keeping
+// the throttle phase independent of the active code's dataflow.
+type DutyCyclePass struct {
+	// Duty is the active fraction of each burst period, in (0,1].
+	Duty float64
+	// BurstLen is the burst period in static instructions (>= 2).
+	BurstLen int
+}
+
+// Name implements Pass.
+func (DutyCyclePass) Name() string { return "DutyCycle" }
+
+// Apply implements Pass.
+func (p DutyCyclePass) Apply(b *Builder) error {
+	if len(b.prog.Instructions) == 0 {
+		return fmt.Errorf("building block not created yet")
+	}
+	if p.Duty <= 0 || p.Duty > 1 {
+		return fmt.Errorf("duty cycle %v outside (0,1]", p.Duty)
+	}
+	if p.BurstLen < 2 {
+		return fmt.Errorf("burst length %d < 2", p.BurstLen)
+	}
+	if p.Duty == 1 {
+		return nil // fully active: nothing to throttle
+	}
+	active := int(p.Duty * float64(p.BurstLen))
+	if active < 1 {
+		active = 1
+	}
+	throttle := isa.RegTP
+	last := len(b.prog.Instructions) - 1 // keep the loop-closing branch
+	for i := 0; i < last; i++ {
+		if i%p.BurstLen < active {
+			continue
+		}
+		in := &b.prog.Instructions[i]
+		in.Op = isa.DIV
+		in.Dest = throttle
+		in.Srcs = [2]isa.Reg{throttle, throttle}
+		in.NumSrcs = isa.Describe(isa.DIV).NumSources
+		in.Stream = program.NoStream
+		in.Pattern = program.NoPattern
+	}
+	return nil
+}
+
 // InitializeRegistersPass records how architectural registers are initialized
 // before the loop is entered. The generated kernels initialize registers in
 // their prologue; this pass carries the policy into the program metadata so

@@ -89,8 +89,13 @@ func (s *Synthesizer) SynthesizeSettings(name string, set knobs.Settings) (*prog
 		RandomizeByTypePass{Probability: set.BranchRandomRatio},
 		GenericMemoryStreamsPass{Streams: streams},
 		DefaultRegisterAllocationPass{DepDist: set.RegDist},
-		UpdateInstructionAddressesPass{},
 	}
+	if set.DutyCycle > 0 && set.DutyCycle < 1 {
+		// After register allocation: the throttle chain lives on a reserved
+		// register the allocator never touches.
+		passes = append(passes, DutyCyclePass{Duty: set.DutyCycle, BurstLen: set.BurstLen})
+	}
+	passes = append(passes, UpdateInstructionAddressesPass{})
 	if err := b.Apply(passes...); err != nil {
 		return nil, err
 	}
@@ -101,6 +106,10 @@ func (s *Synthesizer) SynthesizeSettings(name string, set knobs.Settings) (*prog
 	p.Meta["mem_footprint_kb"] = fmt.Sprintf("%d", set.MemFootprintKB)
 	p.Meta["mem_stride_b"] = fmt.Sprintf("%d", set.MemStrideB)
 	p.Meta["branch_random_ratio"] = fmt.Sprintf("%.3f", set.BranchRandomRatio)
+	if set.DutyCycle > 0 && set.DutyCycle < 1 {
+		p.Meta["duty_cycle"] = fmt.Sprintf("%.2f", set.DutyCycle)
+		p.Meta["burst_len"] = fmt.Sprintf("%d", set.BurstLen)
+	}
 	return p, nil
 }
 

@@ -1,0 +1,130 @@
+package platform_test
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"micrograd/internal/metrics"
+	"micrograd/internal/platform"
+	"micrograd/internal/workloads"
+)
+
+// update regenerates the golden metric files instead of comparing:
+//
+//	go test ./internal/platform -run TestGoldenMetrics -update
+var update = flag.Bool("update", false, "rewrite the golden metric files under testdata/golden")
+
+// goldenEvalOptions is the fixed evaluation budget the golden vectors are
+// recorded at. Changing it invalidates every golden file.
+func goldenEvalOptions() platform.EvalOptions {
+	return platform.EvalOptions{DynamicInstructions: 20000, Seed: 1, CollectPower: true}
+}
+
+func goldenPath(bench string, core platform.CoreKind) string {
+	return filepath.Join("testdata", "golden", fmt.Sprintf("%s_%s.json", bench, core))
+}
+
+// TestGoldenMetrics is the repository's regression safety net: every
+// SPECInt2006 reference benchmark is measured on both cores and the full
+// metric vector compared — within a hair of cross-architecture
+// floating-point slack (goldenTolerance) — against the committed golden
+// files.
+// Any change to the simulator, power model, memory hierarchy, workload
+// profiles or code generator that shifts a metric shows up here as a diff;
+// intentional shifts are recorded by re-running with -update and reviewing
+// the golden file changes.
+func TestGoldenMetrics(t *testing.T) {
+	for _, spec := range platform.Cores() {
+		for _, bench := range workloads.SPECInt2006() {
+			name := fmt.Sprintf("%s/%s", bench.Name, spec.Kind)
+			t.Run(name, func(t *testing.T) {
+				plat, err := platform.NewSimPlatform(spec)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := bench.Reference(plat, goldenEvalOptions())
+				if err != nil {
+					t.Fatal(err)
+				}
+				path := goldenPath(bench.Name, spec.Kind)
+				if *update {
+					writeGolden(t, path, got)
+					return
+				}
+				want := readGolden(t, path)
+				compareVectors(t, got, want)
+			})
+		}
+	}
+}
+
+func writeGolden(t *testing.T, path string, v metrics.Vector) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func readGolden(t *testing.T, path string) metrics.Vector {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file %s (run with -update to create it): %v", path, err)
+	}
+	var v metrics.Vector
+	if err := json.Unmarshal(data, &v); err != nil {
+		t.Fatalf("corrupt golden file %s: %v", path, err)
+	}
+	return v
+}
+
+// goldenTolerance is the relative tolerance of the golden comparison. The
+// platforms are fully deterministic on one machine, but the Go spec permits
+// floating-point fusion (FMA) whose rounding differs across architectures;
+// a hair of relative slack keeps amd64-recorded goldens valid on arm64
+// while still catching every real behaviour change (which moves metrics by
+// many orders of magnitude more).
+const goldenTolerance = 1e-9
+
+// compareVectors reports every metric that drifted from its golden value.
+func compareVectors(t *testing.T, got, want metrics.Vector) {
+	t.Helper()
+	for _, name := range want.Names() {
+		g, ok := got[name]
+		if !ok {
+			t.Errorf("metric %s disappeared (golden %v)", name, want[name])
+			continue
+		}
+		w := want[name]
+		scale := w
+		if scale < 0 {
+			scale = -scale
+		}
+		if scale < 1 {
+			scale = 1
+		}
+		diff := g - w
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > goldenTolerance*scale {
+			t.Errorf("metric %s drifted: got %v, golden %v", name, g, w)
+		}
+	}
+	for _, name := range got.Names() {
+		if _, ok := want[name]; !ok {
+			t.Errorf("new metric %s=%v not in golden file (run -update and review)", name, got[name])
+		}
+	}
+}

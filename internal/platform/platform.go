@@ -33,15 +33,23 @@ const (
 	LargeCore CoreKind = "large"
 )
 
+// DefaultWindowCycles is the activity-window length the built-in cores
+// record power traces at: 64 cycles (32 ns at 2 GHz) resolves oscillations
+// down to well below the default supply network's ≈256-cycle resonant
+// period.
+const DefaultWindowCycles = 64
+
 // CoreSpec bundles everything needed to instantiate an evaluation platform
 // for one core: the out-of-order core parameters, the cache hierarchy, the
 // branch predictor and the power template.
 type CoreSpec struct {
-	Kind   CoreKind
-	CPU    cpusim.Config
-	Memory memsim.HierarchyConfig
-	Branch branchsim.Config
-	Power  powersim.Coefficients
+	Kind    CoreKind
+	CPU     cpusim.Config
+	Memory  memsim.HierarchyConfig
+	Branch  branchsim.Config
+	Power   powersim.Coefficients
+	Supply  powersim.SupplyModel
+	Thermal powersim.ThermalModel
 }
 
 // Validate checks every component of the spec.
@@ -58,7 +66,13 @@ func (s CoreSpec) Validate() error {
 	if err := s.Branch.Validate(); err != nil {
 		return err
 	}
-	return s.Power.Validate()
+	if err := s.Power.Validate(); err != nil {
+		return err
+	}
+	if err := s.Supply.Validate(); err != nil {
+		return err
+	}
+	return s.Thermal.Validate()
 }
 
 // Small returns the paper's "Small" core (Table II): 3-wide front end,
@@ -71,6 +85,7 @@ func Small() CoreSpec {
 			ROBSize: 40, LSQSize: 16, RSESize: 32,
 			NumALU: 3, NumMul: 2, NumFP: 2, NumLSU: 1,
 			MispredictPenalty: 10,
+			WindowCycles:      DefaultWindowCycles,
 		},
 		Memory: memsim.HierarchyConfig{
 			L1I:        memsim.CacheConfig{Name: "L1I", SizeBytes: 16 << 10, LineBytes: 64, Assoc: 4, HitLatency: 1},
@@ -78,8 +93,10 @@ func Small() CoreSpec {
 			L2:         memsim.CacheConfig{Name: "L2", SizeBytes: 256 << 10, LineBytes: 64, Assoc: 8, HitLatency: 12},
 			MemLatency: 140,
 		},
-		Branch: branchsim.Config{Kind: branchsim.Bimodal, TableBits: 10},
-		Power:  powersim.SmallCoreCoefficients(),
+		Branch:  branchsim.Config{Kind: branchsim.Bimodal, TableBits: 10},
+		Power:   powersim.SmallCoreCoefficients(),
+		Supply:  powersim.DefaultSupplyModel(),
+		Thermal: powersim.DefaultThermalModel(),
 	}
 }
 
@@ -94,6 +111,7 @@ func Large() CoreSpec {
 			ROBSize: 160, LSQSize: 64, RSESize: 128,
 			NumALU: 6, NumMul: 4, NumFP: 4, NumLSU: 2,
 			MispredictPenalty: 14,
+			WindowCycles:      DefaultWindowCycles,
 		},
 		Memory: memsim.HierarchyConfig{
 			L1I:        memsim.CacheConfig{Name: "L1I", SizeBytes: 32 << 10, LineBytes: 64, Assoc: 8, HitLatency: 1},
@@ -101,8 +119,10 @@ func Large() CoreSpec {
 			L2:         memsim.CacheConfig{Name: "L2", SizeBytes: 1 << 20, LineBytes: 64, Assoc: 16, HitLatency: 14, NextLinePrefetch: true},
 			MemLatency: 140,
 		},
-		Branch: branchsim.Config{Kind: branchsim.GShare, TableBits: 14, HistoryBits: 12},
-		Power:  powersim.LargeCoreCoefficients(),
+		Branch:  branchsim.Config{Kind: branchsim.GShare, TableBits: 14, HistoryBits: 12},
+		Power:   powersim.LargeCoreCoefficients(),
+		Supply:  powersim.DefaultSupplyModel(),
+		Thermal: powersim.DefaultThermalModel(),
 	}
 }
 
@@ -215,9 +235,40 @@ func (s *SimPlatform) Evaluate(p *program.Program, opts EvalOptions) (metrics.Ve
 	s.evaluations++
 	v := ResultVector(res)
 	if opts.CollectPower {
-		v[metrics.DynamicPowerW] = s.power.DynamicPower(res)
+		s.addPowerMetrics(v, res)
 	}
 	return v, nil
+}
+
+// TraceWarmupWindows is the number of leading activity windows the transient
+// analyses discard as cache warmup (capped at a quarter of the trace for
+// very short runs).
+const TraceWarmupWindows = 16
+
+// addPowerMetrics extends the vector with the power model's outputs: average
+// dynamic power always, plus the transient-power metrics (worst-case supply
+// droop, maximum dI/dt step, steady-state hotspot temperature) whenever the
+// run recorded activity windows.
+func (s *SimPlatform) addPowerMetrics(v metrics.Vector, res cpusim.Result) {
+	v[metrics.DynamicPowerW] = s.power.DynamicPower(res)
+	if len(res.Windows) == 0 {
+		return
+	}
+	trace := s.power.Trace(res)
+	warm := TraceWarmupWindows
+	if max := len(trace.Points) / 4; warm > max {
+		warm = max
+	}
+	steady := trace.TrimWarmup(warm)
+	v[metrics.WorstDroopMV] = s.spec.Supply.WorstDroopMV(steady)
+	v[metrics.MaxDIDTWPerCycle] = steady.MaxStepWPerCycle()
+	v[metrics.TempC] = s.spec.Thermal.SteadyTempC(steady)
+}
+
+// PowerTrace derives the windowed power trace of a detailed evaluation
+// result (used by reporting tools and cmd/mgbench's -trace dump).
+func (s *SimPlatform) PowerTrace(res cpusim.Result) powersim.PowerTrace {
+	return s.power.Trace(res)
 }
 
 // EvaluateDetailed runs the program and returns both the metric vector and
@@ -232,7 +283,7 @@ func (s *SimPlatform) EvaluateDetailed(p *program.Program, opts EvalOptions) (me
 	s.evaluations++
 	v := ResultVector(res)
 	if opts.CollectPower {
-		v[metrics.DynamicPowerW] = s.power.DynamicPower(res)
+		s.addPowerMetrics(v, res)
 	}
 	return v, res, nil
 }

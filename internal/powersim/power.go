@@ -28,7 +28,9 @@ type Coefficients struct {
 	// Name identifies the template ("small", "large").
 	Name string
 	// FrontEndPJ is charged once per dispatched instruction (fetch, decode,
-	// rename, retire).
+	// rename, retire). NOPs are exempt: they are fused away at decode and
+	// pay only their (tiny) class energy, which is what makes duty-cycled
+	// kernels genuinely low-power during their idle phases.
 	FrontEndPJ float64
 	// ClassPJ is the execution energy per instruction class.
 	ClassPJ map[isa.Class]float64
@@ -159,7 +161,7 @@ func (b Breakdown) String() string {
 // EnergyBreakdown attributes the run's dynamic energy to components.
 func (m *Model) EnergyBreakdown(r cpusim.Result) Breakdown {
 	comp := make(map[string]float64, 8)
-	comp["frontend"] = float64(r.Instructions) * m.coeff.FrontEndPJ
+	comp["frontend"] = float64(r.Instructions-r.ClassCounts[isa.ClassNop]) * m.coeff.FrontEndPJ
 	exec := 0.0
 	for cl, n := range r.ClassCounts {
 		e, ok := m.coeff.ClassPJ[cl]

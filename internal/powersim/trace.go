@@ -1,0 +1,339 @@
+// Transient power analyses built on the per-window activity counts that
+// internal/cpusim records: a windowed power trace, the dI/dt step metric, a
+// second-order RLC supply-network model producing worst-case voltage droop,
+// and a lumped thermal-RC model producing the steady-state hotspot
+// temperature. Average power (power.go) hides exactly the behaviours these
+// expose — voltage noise needs activity that *oscillates* near the supply
+// network's resonant frequency, thermal stress needs activity that is
+// *sustained* — which is why the stress-testing use case gained the
+// voltage-noise and thermal virus kinds alongside the paper's two endpoints.
+package powersim
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"micrograd/internal/cpusim"
+	"micrograd/internal/isa"
+)
+
+// TracePoint is the power draw of one activity window.
+type TracePoint struct {
+	// Cycles is the window length (the final window may be shorter).
+	Cycles uint64
+	// EnergyPJ is the dynamic energy dissipated in the window.
+	EnergyPJ float64
+	// PowerW is the window's average dynamic power.
+	PowerW float64
+}
+
+// PowerTrace is the windowed dynamic power waveform of one run.
+type PowerTrace struct {
+	// WindowCycles is the nominal window length the trace was recorded at.
+	WindowCycles int
+	// FrequencyGHz is the core clock, for cycle→time conversion.
+	FrequencyGHz float64
+	// Points are the per-window samples, in time order.
+	Points []TracePoint
+}
+
+// Trace converts a run's window activity into a power trace. The result is
+// empty when the run was simulated without window bookkeeping
+// (cpusim.Config.WindowCycles == 0).
+func (m *Model) Trace(r cpusim.Result) PowerTrace {
+	t := PowerTrace{
+		WindowCycles: r.Config.WindowCycles,
+		FrequencyGHz: r.Config.FrequencyGHz,
+		Points:       make([]TracePoint, 0, len(r.Windows)),
+	}
+	for _, w := range r.Windows {
+		e := float64(w.Instructions-w.ClassCounts[isa.ClassNop]) * m.coeff.FrontEndPJ
+		for cl, n := range w.ClassCounts {
+			if n == 0 {
+				continue
+			}
+			pj, ok := m.coeff.ClassPJ[isa.Class(cl)]
+			if !ok {
+				pj = m.coeff.ClassPJ[isa.ClassInteger]
+			}
+			e += float64(n) * pj
+		}
+		e += float64(w.L2Accesses) * m.coeff.L2AccessPJ
+		e += float64(w.MemAccesses) * m.coeff.MemAccessPJ
+		e += float64(w.Mispredicts) * m.coeff.MispredictPJ
+		e += float64(w.Cycles) * m.coeff.ClockPJPerCycle
+		p := TracePoint{Cycles: w.Cycles, EnergyPJ: e}
+		if w.Cycles > 0 {
+			// pJ/cycle * cycles/ns = mW; /1000 for W.
+			p.PowerW = e / float64(w.Cycles) * t.FrequencyGHz / 1000
+		}
+		t.Points = append(t.Points, p)
+	}
+	return t
+}
+
+// Empty reports whether the trace has no samples.
+func (t PowerTrace) Empty() bool { return len(t.Points) == 0 }
+
+// TrimWarmup returns the trace without its first n windows. The transient
+// analyses use this to drop the cold-cache warmup spike, which would
+// otherwise dominate the droop and dI/dt of every kernel regardless of its
+// steady-state behaviour (the supply simulation replays the trace, so a
+// one-off warmup transient would ring the network on every pass).
+func (t PowerTrace) TrimWarmup(n int) PowerTrace {
+	if n <= 0 || n >= len(t.Points) {
+		if n >= len(t.Points) {
+			t.Points = nil
+		}
+		return t
+	}
+	t.Points = t.Points[n:]
+	return t
+}
+
+// AvgPowerW returns the trace's cycle-weighted average power.
+func (t PowerTrace) AvgPowerW() float64 {
+	var energy, cycles float64
+	for _, p := range t.Points {
+		energy += p.EnergyPJ
+		cycles += float64(p.Cycles)
+	}
+	if cycles == 0 {
+		return 0
+	}
+	return energy / cycles * t.FrequencyGHz / 1000
+}
+
+// MaxPowerW returns the highest window power of the trace.
+func (t PowerTrace) MaxPowerW() float64 {
+	max := 0.0
+	for _, p := range t.Points {
+		if p.PowerW > max {
+			max = p.PowerW
+		}
+	}
+	return max
+}
+
+// MaxStepWPerCycle is the dI/dt proxy metric: the largest power change
+// between adjacent full-length windows, normalized by the nominal window
+// length, in watts per cycle. Partial windows (the tail of a run) are
+// excluded — their short averaging interval would otherwise inflate the
+// metric by up to the window length depending on where the run happens to
+// end.
+func (t PowerTrace) MaxStepWPerCycle() float64 {
+	max := 0.0
+	nominal := uint64(t.WindowCycles)
+	for i := 1; i < len(t.Points); i++ {
+		cyc := float64(t.Points[i].Cycles)
+		if cyc == 0 {
+			continue
+		}
+		if nominal > 0 {
+			if t.Points[i].Cycles != nominal || t.Points[i-1].Cycles != nominal {
+				continue
+			}
+			cyc = float64(nominal)
+		}
+		d := t.Points[i].PowerW - t.Points[i-1].PowerW
+		if d < 0 {
+			d = -d
+		}
+		if d/cyc > max {
+			max = d / cyc
+		}
+	}
+	return max
+}
+
+// WriteCSV dumps the trace as "window,cycles,time_ns,energy_pj,power_w"
+// rows, the format cmd/mgbench's -trace flag produces.
+func (t PowerTrace) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"window", "cycles", "time_ns", "energy_pj", "power_w"}); err != nil {
+		return err
+	}
+	timeNS := 0.0
+	for i, p := range t.Points {
+		if t.FrequencyGHz > 0 {
+			timeNS += float64(p.Cycles) / t.FrequencyGHz
+		}
+		rec := []string{
+			strconv.Itoa(i),
+			strconv.FormatUint(p.Cycles, 10),
+			strconv.FormatFloat(timeNS, 'f', 2, 64),
+			strconv.FormatFloat(p.EnergyPJ, 'f', 1, 64),
+			strconv.FormatFloat(p.PowerW, 'f', 6, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// SupplyModel is a lumped second-order model of the power delivery network:
+// the package/board supply reaches the core through a series
+// resistance+inductance, decoupled at the core by a capacitance, and the
+// core draws the current implied by the power trace. Underdamped parameter
+// choices (Q > 1) give the network a resonant frequency; load current that
+// oscillates near it excites much larger voltage droop than a constant draw
+// of the same average power — the behaviour the voltage-noise virus hunts.
+type SupplyModel struct {
+	// VddV is the nominal supply voltage.
+	VddV float64
+	// ResistanceOhm, InductanceH and CapacitanceF are the lumped PDN
+	// elements (series R and L, shunt C at the core).
+	ResistanceOhm float64
+	InductanceH   float64
+	CapacitanceF  float64
+	// Passes is how many times the trace is replayed so the waveform
+	// settles into its periodic steady state.
+	Passes int
+	// MaxStepS caps the integration step; windows longer than this are
+	// subdivided to keep the discretization stable.
+	MaxStepS float64
+}
+
+// DefaultSupplyModel returns the PDN used by the built-in cores: Vdd 1 V,
+// R 20 mΩ, L 2.1 nH, C 200 nF — a quality factor of ≈5 and a resonant
+// frequency of ≈7.8 MHz, i.e. a period of ≈256 core cycles at 2 GHz. That
+// period sits squarely in the range the BURST_LEN knob can phase activity
+// bursts to (and is resolved by the default 64-cycle trace window); the
+// selectivity of the high-Q peak is what rewards phase-aligned bursts over
+// broadband stall noise.
+func DefaultSupplyModel() SupplyModel {
+	return SupplyModel{
+		VddV:          1.0,
+		ResistanceOhm: 0.02,
+		InductanceH:   2.1e-9,
+		CapacitanceF:  200e-9,
+		Passes:        6,
+		MaxStepS:      2e-9,
+	}
+}
+
+// Validate checks the supply model parameters.
+func (s SupplyModel) Validate() error {
+	if s.VddV <= 0 || s.ResistanceOhm <= 0 || s.InductanceH <= 0 || s.CapacitanceF <= 0 {
+		return fmt.Errorf("powersim: supply model needs positive Vdd, R, L and C")
+	}
+	if s.Passes < 1 {
+		return fmt.Errorf("powersim: supply model needs at least one pass")
+	}
+	if s.MaxStepS <= 0 {
+		return fmt.Errorf("powersim: supply model needs a positive integration step cap")
+	}
+	return nil
+}
+
+// WorstDroopMV simulates the supply network driven by the trace's load
+// current and returns the worst-case voltage droop (Vdd minus the minimum
+// core voltage) in millivolts. The network starts in the steady state of the
+// trace's average current, so a perfectly constant load shows only its IR
+// drop while an oscillating load adds the resonant ripple on top.
+func (s SupplyModel) WorstDroopMV(t PowerTrace) float64 {
+	if t.Empty() || t.FrequencyGHz <= 0 {
+		return 0
+	}
+	// Load current per window, I = P/Vdd.
+	load := make([]float64, len(t.Points))
+	avg := 0.0
+	var cycles float64
+	for i, p := range t.Points {
+		load[i] = p.PowerW / s.VddV
+		avg += load[i] * float64(p.Cycles)
+		cycles += float64(p.Cycles)
+	}
+	if cycles == 0 {
+		return 0
+	}
+	avg /= cycles
+
+	// Warm start at the average-current operating point.
+	i := avg
+	v := s.VddV - avg*s.ResistanceOhm
+	vMin := v
+
+	cycleS := 1 / (t.FrequencyGHz * 1e9)
+	for pass := 0; pass < s.Passes; pass++ {
+		for n, p := range t.Points {
+			dt := float64(p.Cycles) * cycleS
+			if dt == 0 {
+				continue
+			}
+			steps := int(dt/s.MaxStepS) + 1
+			h := dt / float64(steps)
+			for k := 0; k < steps; k++ {
+				// Semi-implicit Euler keeps the underdamped system stable.
+				i += h * (s.VddV - v - s.ResistanceOhm*i) / s.InductanceH
+				v += h * (i - load[n]) / s.CapacitanceF
+				if v < vMin {
+					vMin = v
+				}
+			}
+		}
+	}
+	return (s.VddV - vMin) * 1000
+}
+
+// ThermalModel is a lumped thermal-RC model of the core hotspot: dissipated
+// power heats a thermal capacitance that leaks to ambient through a thermal
+// resistance. The thermal time constant is orders of magnitude longer than
+// a trace, so the reported temperature is dominated by sustained average
+// power — the behaviour the thermal virus maximizes.
+type ThermalModel struct {
+	// AmbientC is the heat-sink/case reference temperature in °C.
+	AmbientC float64
+	// RthCPerW is the junction-to-ambient thermal resistance in °C/W.
+	RthCPerW float64
+	// CthJPerC is the hotspot thermal capacitance in J/°C.
+	CthJPerC float64
+	// Passes is how many times the trace is replayed when integrating the
+	// transient on top of the steady-state starting point.
+	Passes int
+}
+
+// DefaultThermalModel returns the thermal model used by the built-in cores:
+// 45 °C reference, 28 °C/W hotspot resistance, 2 mJ/°C capacitance
+// (τ ≈ 56 ms).
+func DefaultThermalModel() ThermalModel {
+	return ThermalModel{AmbientC: 45, RthCPerW: 28, CthJPerC: 2e-3, Passes: 4}
+}
+
+// Validate checks the thermal model parameters.
+func (m ThermalModel) Validate() error {
+	if m.RthCPerW <= 0 || m.CthJPerC <= 0 {
+		return fmt.Errorf("powersim: thermal model needs positive Rth and Cth")
+	}
+	if m.Passes < 1 {
+		return fmt.Errorf("powersim: thermal model needs at least one pass")
+	}
+	return nil
+}
+
+// SteadyTempC returns the steady-state hotspot temperature in °C reached
+// when the trace repeats indefinitely: the RC response is integrated from
+// the average-power operating point and the peak temperature reported.
+func (m ThermalModel) SteadyTempC(t PowerTrace) float64 {
+	if t.Empty() || t.FrequencyGHz <= 0 {
+		return m.AmbientC
+	}
+	avg := t.AvgPowerW()
+	temp := m.AmbientC + m.RthCPerW*avg
+	tMax := temp
+	cycleS := 1 / (t.FrequencyGHz * 1e9)
+	for pass := 0; pass < m.Passes; pass++ {
+		for _, p := range t.Points {
+			dt := float64(p.Cycles) * cycleS
+			temp += dt * (p.PowerW - (temp-m.AmbientC)/m.RthCPerW) / m.CthJPerC
+			if temp > tMax {
+				tMax = temp
+			}
+		}
+	}
+	return tMax
+}

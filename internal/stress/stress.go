@@ -27,7 +27,29 @@ const (
 	PerfVirus Kind = "perf-virus"
 	// PowerVirus maximizes dynamic power (the paper's Fig. 6).
 	PowerVirus Kind = "power-virus"
+	// VoltageNoiseVirus maximizes worst-case supply voltage droop by
+	// phase-aligning activity bursts (via the duty-cycle/burst knobs) to the
+	// supply network's resonant frequency.
+	VoltageNoiseVirus Kind = "voltage-noise-virus"
+	// ThermalVirus maximizes the steady-state hotspot temperature of the
+	// lumped thermal-RC model.
+	ThermalVirus Kind = "thermal-virus"
 )
+
+// Kinds returns every built-in stress kind.
+func Kinds() []Kind {
+	return []Kind{PerfVirus, PowerVirus, VoltageNoiseVirus, ThermalVirus}
+}
+
+// KindByName resolves a kind name, accepting exactly the built-in kinds.
+func KindByName(name string) (Kind, error) {
+	for _, k := range Kinds() {
+		if string(k) == name {
+			return k, nil
+		}
+	}
+	return "", fmt.Errorf("stress: unknown kind %q (want one of %v)", name, Kinds())
+}
 
 // DefaultMaxEpochs bounds stress tuning runs; the paper's stress tests
 // converge within 25-45 epochs.
@@ -59,6 +81,11 @@ type Options struct {
 	// depending on Kind). Maximize selects the direction for custom metrics.
 	Metric   string
 	Maximize bool
+	// Initial optionally fixes the tuner's starting configuration (e.g. to
+	// warm-start a voltage-noise search from a power-virus result). It must
+	// belong to Space when both are set; when Space is nil the initial
+	// configuration's space is used.
+	Initial knobs.Config
 	// Parallel is the number of candidate evaluations run concurrently
 	// inside each tuning epoch. Values <= 1 keep the serial path; results
 	// are bit-identical either way. Parallel runs additionally need
@@ -80,6 +107,10 @@ func (o Options) goal(kind Kind) (string, bool, error) {
 		return metrics.IPC, false, nil
 	case PowerVirus:
 		return metrics.DynamicPowerW, true, nil
+	case VoltageNoiseVirus:
+		return metrics.WorstDroopMV, true, nil
+	case ThermalVirus:
+		return metrics.TempC, true, nil
 	default:
 		return "", false, fmt.Errorf("stress: unknown kind %q and no explicit metric", kind)
 	}
@@ -88,9 +119,14 @@ func (o Options) goal(kind Kind) (string, bool, error) {
 // normalized fills in defaults for a kind.
 func (o Options) normalized(kind Kind) Options {
 	if o.Space == nil {
-		if kind == PowerVirus {
+		switch {
+		case !o.Initial.IsZero():
+			o.Space = o.Initial.Space()
+		case kind == PowerVirus:
 			o.Space = knobs.StressSpace()
-		} else {
+		case kind == VoltageNoiseVirus || kind == ThermalVirus:
+			o.Space = knobs.TransientStressSpace()
+		default:
 			o.Space = knobs.InstructionOnlySpace()
 		}
 	}
@@ -132,6 +168,10 @@ type Report struct {
 	// RegDist is the register dependency distance chosen by the stress test
 	// (the paper reports the power virus drives it to the maximum).
 	RegDist int
+	// DutyCycle and BurstLen are the activity-burst knobs chosen by the
+	// stress test (1 and 0 when the space does not tune them).
+	DutyCycle float64
+	BurstLen  int
 	// Config is the best knob configuration.
 	Config knobs.Config
 	// Program is the generated stress kernel.
@@ -155,7 +195,7 @@ func Run(ctx context.Context, kind Kind, opts Options) (Report, error) {
 		return Report{}, fmt.Errorf("stress: no evaluation platform configured")
 	}
 	evalOpts := opts.EvalOptions
-	if metric == metrics.DynamicPowerW {
+	if powerDerived(metric) {
 		evalOpts.CollectPower = true
 	}
 
@@ -194,6 +234,7 @@ func Run(ctx context.Context, kind Kind, opts Options) (Report, error) {
 		MaxEpochs:  opts.MaxEpochs,
 		TargetLoss: tuner.NoTargetLoss,
 		Seed:       opts.Seed,
+		Initial:    opts.Initial,
 	}
 	res, err := opts.Tuner.Run(ctx, prob)
 	if err != nil {
@@ -230,6 +271,13 @@ func Run(ctx context.Context, kind Kind, opts Options) (Report, error) {
 	} else {
 		rep.RegDist = res.Best.Settings().RegDist
 	}
+	rep.DutyCycle = 1
+	if dc, ok := res.Best.ValueByName(knobs.NameDutyCycle); ok {
+		rep.DutyCycle = dc
+	}
+	if bl, ok := res.Best.ValueByName(knobs.NameBurstLen); ok {
+		rep.BurstLen = int(bl)
+	}
 	for _, er := range res.Epochs {
 		rep.Progression = append(rep.Progression, EpochPoint{
 			Epoch:       er.Epoch,
@@ -238,6 +286,16 @@ func Run(ctx context.Context, kind Kind, opts Options) (Report, error) {
 		})
 	}
 	return rep, nil
+}
+
+// powerDerived reports whether a metric is produced by the power model (and
+// therefore needs CollectPower evaluations).
+func powerDerived(metric string) bool {
+	switch metric {
+	case metrics.DynamicPowerW, metrics.WorstDroopMV, metrics.MaxDIDTWPerCycle, metrics.TempC:
+		return true
+	}
+	return false
 }
 
 // lossToValue converts a stress loss back into the metric value.

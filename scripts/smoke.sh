@@ -1,0 +1,51 @@
+#!/bin/sh
+# CLI smoke tests: build every binary and example, run each under a quick
+# budget, and assert it exits 0 with non-empty output. CI runs this as its
+# own step (`make smoke`).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+bin_dir="$(mktemp -d)"
+trap 'rm -rf "$bin_dir"' EXIT
+
+echo "building commands and examples..."
+go build -o "$bin_dir" ./cmd/... ./examples/...
+
+# run NAME CMD... — runs the command, asserts exit 0 and non-empty stdout.
+run() {
+    name="$1"
+    shift
+    echo "smoke: $name"
+    out="$("$@")" || {
+        echo "FAIL: $name exited non-zero" >&2
+        exit 1
+    }
+    if [ -z "$out" ]; then
+        echo "FAIL: $name produced no output" >&2
+        exit 1
+    fi
+}
+
+run "mgbench tableI"      "$bin_dir/mgbench" -experiment tableI
+run "mgbench tableII"     "$bin_dir/mgbench" -experiment tableII
+run "mgbench fig5 quick"  "$bin_dir/mgbench" -experiment fig5 -quick -instructions 3000 -seed 1
+run "mgbench voltage-noise-virus" "$bin_dir/mgbench" -kind voltage-noise-virus -quick -core small -instructions 3000 -trace "$bin_dir/trace.csv"
+run "mgbench thermal-virus"       "$bin_dir/mgbench" -kind thermal-virus -quick -core small -instructions 3000
+test -s "$bin_dir/trace.csv" || { echo "FAIL: trace dump is empty" >&2; exit 1; }
+
+run "mgworkload list"     "$bin_dir/mgworkload" -list
+run "mgworkload measure"  "$bin_dir/mgworkload" -benchmark mcf -instructions 5000
+
+run "micrograd stress"    "$bin_dir/micrograd" -use-case stress -stress-kind voltage-noise-virus -core small -epochs 4 -instructions 5000 -loop-size 200
+run "micrograd cloning"   "$bin_dir/micrograd" -use-case cloning -benchmark mcf -epochs 4 -instructions 4000 -loop-size 200
+
+# Examples run from the scratch directory so any artifacts they write
+# (e.g. the cloning example's clones/ output) stay out of the repository.
+cd "$bin_dir"
+run "example quickstart"  "$bin_dir/quickstart"
+run "example stresstest"  "$bin_dir/stresstest"
+run "example bottleneck"  "$bin_dir/bottleneck"
+run "example cloning"     "$bin_dir/cloning"
+
+echo "smoke: all CLIs and examples OK"
