@@ -6,14 +6,17 @@
 //	mgbench -experiment fig2 -csv out/ # also dump CSV data for plotting
 //
 // Experiments: tableI, tableII, fig2, fig3, fig4, fig5, fig6, tableIII,
-// stresscmp, summary, all.
+// stresscmp, corun, summary, all.
 //
 // Alternatively -kind runs a single stress test of any built-in kind
-// (perf-virus, power-virus, voltage-noise-virus, thermal-virus) on the core
-// selected with -core, and -trace dumps the tuned kernel's windowed power
-// trace as CSV:
+// (perf-virus, power-virus, voltage-noise-virus, thermal-virus,
+// corun-noise-virus) on the core selected with -core, and -trace dumps the
+// tuned kernel's windowed power trace as CSV. The corun kind and experiment
+// co-run -cores copies of the core on a shared power-delivery network and
+// tune the chip-level droop:
 //
 //	mgbench -kind voltage-noise-virus -quick -core small -trace trace.csv
+//	mgbench -kind corun-noise-virus -quick -core small -cores 2
 package main
 
 import (
@@ -29,6 +32,7 @@ import (
 
 	"micrograd/internal/experiments"
 	"micrograd/internal/metrics"
+	"micrograd/internal/powersim"
 	"micrograd/internal/report"
 	"micrograd/internal/stress"
 )
@@ -43,7 +47,7 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("mgbench", flag.ContinueOnError)
 	var (
-		experiment = fs.String("experiment", "all", "experiment to run: tableI, tableII, fig2, fig3, fig4, fig5, fig6, tableIII, stresscmp, summary, all")
+		experiment = fs.String("experiment", "all", "experiment to run: tableI, tableII, fig2, fig3, fig4, fig5, fig6, tableIII, stresscmp, corun, summary, all")
 		quick      = fs.Bool("quick", false, "use the reduced quick budget (3 benchmarks, short simulations)")
 		csvDir     = fs.String("csv", "", "directory to write CSV data files into (empty = don't write)")
 		dynInstr   = fs.Int("instructions", 0, "override dynamic instructions per evaluation")
@@ -51,8 +55,9 @@ func run(args []string, out io.Writer) error {
 		seed       = fs.Int64("seed", 0, "override random seed")
 		benchList  = fs.String("benchmarks", "", "comma-separated benchmark subset (default: all eight)")
 		parallel   = fs.Int("parallel", runtime.GOMAXPROCS(0), "worker count of the parallel evaluation engine (1 = serial; results are identical at any count)")
-		kind       = fs.String("kind", "", "run a single stress test of this kind instead of an experiment: perf-virus, power-virus, voltage-noise-virus, thermal-virus")
-		coreName   = fs.String("core", "large", "core the -kind stress test runs on: small or large")
+		kind       = fs.String("kind", "", "run a single stress test of this kind instead of an experiment: perf-virus, power-virus, voltage-noise-virus, thermal-virus, corun-noise-virus")
+		coreName   = fs.String("core", "large", "core the -kind stress test and the corun experiment run on: small or large")
+		cores      = fs.Int("cores", 2, "number of co-running cores of the corun experiment and the corun-noise-virus kind")
 		tracePath  = fs.String("trace", "", "file to write the -kind kernel's windowed power trace into (CSV; empty = don't write)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -80,35 +85,66 @@ func run(args []string, out io.Writer) error {
 	}
 
 	ctx := context.Background()
-	runner := &suite{out: out, csvDir: *csvDir, budget: budget}
+	runner := &suite{out: out, csvDir: *csvDir, budget: budget, core: strings.ToLower(*coreName), cores: *cores}
+	// -kind and -core are normalized like -experiment, so "Voltage-Noise-Virus"
+	// or "SMALL" work the same as their lower-case spellings.
 	if *kind != "" {
-		return runner.runKind(ctx, *kind, *coreName, *tracePath)
+		return runner.runKind(ctx, strings.ToLower(*kind), *tracePath)
 	}
 	return runner.run(ctx, strings.ToLower(*experiment))
 }
 
 // runKind runs one stress test of the given kind and optionally dumps the
-// tuned kernel's power trace.
-func (s *suite) runKind(ctx context.Context, kindName, coreName, tracePath string) error {
+// tuned kernel's power trace (for the co-run kind: the summed chip trace)
+// and, with -csv, the tuning progression series.
+func (s *suite) runKind(ctx context.Context, kindName, tracePath string) error {
 	kind, err := stress.KindByName(kindName)
 	if err != nil {
 		return err
 	}
 	start := time.Now()
-	run, err := experiments.RunStressKind(ctx, kind, coreName, s.budget)
-	if err != nil {
+	var (
+		rep   stress.Report
+		trace powersim.PowerTrace
+	)
+	if kind == stress.CoRunNoiseVirus {
+		run, err := experiments.RunCoRunKind(ctx, s.core, s.cores, s.budget)
+		if err != nil {
+			return err
+		}
+		rep, trace = run.Report, run.Trace
+		fmt.Fprintln(s.out, run.Render())
+	} else {
+		run, err := experiments.RunStressKind(ctx, kind, s.core, s.budget)
+		if err != nil {
+			return err
+		}
+		rep, trace = run.Report, run.Trace
+		fmt.Fprintln(s.out, run.Render())
+	}
+	fmt.Fprintf(s.out, "[%s completed in %s]\n", kind, time.Since(start).Round(time.Millisecond))
+	if err := s.writeKindCSV(kind, rep); err != nil {
 		return err
 	}
-	fmt.Fprintln(s.out, run.Render())
-	fmt.Fprintf(s.out, "[%s completed in %s]\n", kind, time.Since(start).Round(time.Millisecond))
 	if tracePath == "" {
 		return nil
 	}
-	if err := writeCSVFile(tracePath, run.Trace.WriteCSV); err != nil {
+	if err := writeCSVFile(tracePath, trace.WriteCSV); err != nil {
 		return err
 	}
-	fmt.Fprintf(s.out, "power trace (%d windows) written to %s\n", len(run.Trace.Points), tracePath)
+	fmt.Fprintf(s.out, "power trace (%d windows) written to %s\n", len(trace.Points), tracePath)
 	return nil
+}
+
+// writeKindCSV dumps a -kind run's progression series into the -csv
+// directory, mirroring what the figure experiments do.
+func (s *suite) writeKindCSV(kind stress.Kind, rep stress.Report) error {
+	if s.csvDir == "" {
+		return nil
+	}
+	return writeCSVFile(filepath.Join(s.csvDir, string(kind)+".csv"), func(w io.Writer) error {
+		return report.SeriesCSV(w, rep.ProgressionSeries(string(kind)))
+	})
 }
 
 // suite executes experiments and holds shared state (Fig. 2 results feed the
@@ -117,6 +153,8 @@ type suite struct {
 	out    io.Writer
 	csvDir string
 	budget experiments.Budget
+	core   string
+	cores  int
 
 	fig2 *experiments.CloningResult
 	fig4 *experiments.CloningResult
@@ -127,7 +165,7 @@ type suite struct {
 func (s *suite) run(ctx context.Context, which string) error {
 	order := []string{which}
 	if which == "all" {
-		order = []string{"tablei", "tableii", "fig2", "fig3", "fig4", "fig5", "fig6", "tableiii", "stresscmp", "summary"}
+		order = []string{"tablei", "tableii", "fig2", "fig3", "fig4", "fig5", "fig6", "tableiii", "stresscmp", "corun", "summary"}
 	}
 	for _, exp := range order {
 		start := time.Now()
@@ -203,6 +241,17 @@ func (s *suite) runOne(ctx context.Context, which string) error {
 			return err
 		}
 		fmt.Fprintln(s.out, res.Render())
+	case "corun":
+		res, err := experiments.RunCoRun(ctx, s.core, s.cores, s.budget)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(s.out, res.Render())
+		if s.csvDir != "" {
+			return writeCSVFile(filepath.Join(s.csvDir, "corun.csv"), func(w io.Writer) error {
+				return report.SeriesCSV(w, res.Series()...)
+			})
+		}
 	case "summary":
 		if err := s.ensureSummaryInputs(ctx); err != nil {
 			return err

@@ -132,11 +132,7 @@ func printOutput(out *os.File, result *core.Output) {
 		rep := result.StressReport
 		fmt.Fprintf(out, "\nstress test %q: best %s = %.4f after %d epochs (%d evaluations)\n",
 			rep.Kind, rep.Metric, rep.BestValue, rep.Epochs, rep.Evaluations)
-		series := report.Series{Name: "best"}
-		for _, p := range rep.Progression {
-			series.AddPoint(float64(p.Epoch), p.BestValue)
-		}
-		fmt.Fprintln(out, report.AsciiChart("progression", 60, 12, series))
+		fmt.Fprintln(out, report.AsciiChart("progression", 60, 12, rep.ProgressionSeries("best")))
 	}
 	fmt.Fprintf(out, "\nknobs: %s\n", result.Knobs.String())
 	fmt.Fprintf(out, "metrics: %s\n", result.Metrics.String())

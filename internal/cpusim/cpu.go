@@ -62,8 +62,14 @@ func (c Config) Validate() error {
 	if c.FrontEndWidth <= 0 {
 		return fmt.Errorf("cpusim: non-positive front-end width")
 	}
-	if c.ROBSize <= 0 || c.LSQSize <= 0 || c.RSESize <= 0 {
-		return fmt.Errorf("cpusim: non-positive window sizes")
+	if c.ROBSize <= 0 {
+		return fmt.Errorf("cpusim: non-positive ROB size")
+	}
+	if c.LSQSize <= 0 {
+		return fmt.Errorf("cpusim: non-positive LSQ size")
+	}
+	if c.RSESize <= 0 {
+		return fmt.Errorf("cpusim: non-positive RSE size")
 	}
 	if c.NumALU <= 0 || c.NumMul <= 0 || c.NumFP <= 0 || c.NumLSU <= 0 {
 		return fmt.Errorf("cpusim: every functional unit class needs at least one unit")
@@ -72,7 +78,7 @@ func (c Config) Validate() error {
 		return fmt.Errorf("cpusim: negative mispredict penalty")
 	}
 	if c.WindowCycles < 0 {
-		return fmt.Errorf("cpusim: negative window size")
+		return fmt.Errorf("cpusim: negative activity-window length")
 	}
 	return nil
 }
@@ -81,9 +87,10 @@ func (c Config) Validate() error {
 // Instructions and their events are attributed to the window containing
 // their completion (execution) cycle — not their retire cycle — so that a
 // dependency-stalled stretch shows the functional units' actual energy flow
-// instead of an artificial retirement burst. Window event counts are
-// per-instruction attributions and may differ slightly from the run's
-// aggregate cache statistics (prefetches are not attributed to windows).
+// instead of an artificial retirement burst. Prefetch fills are attributed
+// to the window of the demand access that triggered them, so summing the
+// windows' event counts reproduces the run's aggregate L2 (demand plus
+// prefetch), memory and misprediction statistics exactly.
 type Window struct {
 	// Cycles is the window length; the final window of a run may be shorter.
 	Cycles uint64
@@ -248,7 +255,7 @@ func (c *CPU) Run(p *program.Program, dynInstrs int, seed int64) (Result, error)
 // when its execution completed and which energy-relevant events it caused.
 type stepEvents struct {
 	complete   uint64
-	l2, mem    uint8 // number of L2 / main-memory accesses (0..2: fetch + data)
+	l2, mem    uint8 // number of L2 / main-memory accesses (fetch + data + triggered prefetch)
 	mispredict bool
 }
 
@@ -359,15 +366,17 @@ func (c *CPU) step(st *coreState, in program.Instruction, d isa.Descriptor, entr
 	memCfg := c.mem.Config()
 
 	// Front end: instruction fetch through the I-cache. A miss delays
-	// delivery of this (and following) instructions.
+	// delivery of this (and following) instructions. Like the data path
+	// below, L2/memory events are read off the cache statistics, keeping the
+	// window attribution exact for any hierarchy configuration.
+	l2Before := c.mem.L2().Stats()
 	fetchLat := c.mem.AccessInstr(entry.PC)
 	if extra := fetchLat - memCfg.L1I.HitLatency; extra > 0 {
 		st.fetchReady += uint64(extra)
-		ev.l2++
-		if fetchLat >= memCfg.MemLatency {
-			ev.mem++
-		}
 	}
+	l2After := c.mem.L2().Stats()
+	ev.l2 += uint8(l2After.Accesses - l2Before.Accesses + l2After.Prefetches - l2Before.Prefetches)
+	ev.mem += uint8(l2After.Misses - l2Before.Misses)
 
 	// Dispatch: bounded by front-end width, fetch availability, and window
 	// occupancy (ROB / RSE, plus LSQ for memory operations).
@@ -423,17 +432,19 @@ func (c *CPU) step(st *coreState, in program.Instruction, d isa.Descriptor, entr
 	}
 
 	// Execute: latency is the opcode latency, or the cache latency for
-	// memory operations.
+	// memory operations. L2/memory events are read off the cache statistics
+	// rather than inferred from latency (a DTLB miss penalty would otherwise
+	// masquerade as an L2 access); prefetch fills are charged to the access
+	// that triggered them. Both keep windowed energy reconciled with the
+	// aggregate model exactly.
 	latency := uint64(d.Latency)
 	if d.Class == isa.ClassLoad || d.Class == isa.ClassStore {
+		l2Before = c.mem.L2().Stats()
 		dataLat := c.mem.AccessData(entry.Addr, d.Class == isa.ClassStore)
 		latency = uint64(dataLat)
-		if dataLat > memCfg.L1D.HitLatency {
-			ev.l2++
-			if dataLat >= memCfg.MemLatency {
-				ev.mem++
-			}
-		}
+		l2After = c.mem.L2().Stats()
+		ev.l2 += uint8(l2After.Accesses - l2Before.Accesses + l2After.Prefetches - l2Before.Prefetches)
+		ev.mem += uint8(l2After.Misses - l2Before.Misses)
 	}
 	complete := issue + latency
 	ev.complete = complete

@@ -1,0 +1,198 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"micrograd/internal/metrics"
+	"micrograd/internal/microprobe"
+	"micrograd/internal/multicore"
+	"micrograd/internal/platform"
+	"micrograd/internal/powersim"
+	"micrograd/internal/report"
+	"micrograd/internal/sched"
+	"micrograd/internal/stress"
+	"micrograd/internal/tuner"
+)
+
+// CoRunResult is the outcome of the chip-level co-run stress experiment: the
+// tuned corun-noise-virus on N co-running cores next to the single-core
+// voltage-noise-virus baseline on the same core kind — the comparison that
+// shows how much harder phase-aligned co-runners hit the shared PDN than any
+// one core can.
+type CoRunResult struct {
+	// Core is the replicated core kind; Cores how many copies co-run.
+	Core  platform.CoreKind
+	Cores int
+	// Report is the corun-noise-virus tuning outcome (chip droop maximized).
+	Report stress.Report
+	// Baseline is the single-core voltage-noise-virus run on the same core
+	// (zero when the result came from RunCoRunKind, which skips it).
+	Baseline stress.Report
+	// Full is the best co-run configuration's complete chip metric vector.
+	Full metrics.Vector
+	// Trace is the best configuration's summed chip power trace.
+	Trace powersim.PowerTrace
+}
+
+// RunCoRun tunes the corun-noise-virus on cores copies of the named core
+// sharing one PDN, runs the single-core voltage-noise-virus baseline, and
+// characterizes the winning co-run configuration. The two tuning runs execute
+// concurrently on the engine; inside the co-run, per-candidate fan-out and
+// per-core simulation compose on the same worker budget.
+func RunCoRun(ctx context.Context, coreName string, cores int, b Budget) (CoRunResult, error) {
+	return runCoRun(ctx, coreName, cores, b, true)
+}
+
+// RunCoRunKind is the mgbench -kind entry point: one tuned co-run stress
+// test plus its characterization, without the single-core baseline
+// comparison run (Baseline is left zero).
+func RunCoRunKind(ctx context.Context, coreName string, cores int, b Budget) (CoRunResult, error) {
+	return runCoRun(ctx, coreName, cores, b, false)
+}
+
+func runCoRun(ctx context.Context, coreName string, cores int, b Budget, withBaseline bool) (CoRunResult, error) {
+	b = b.normalized()
+	if cores < 2 {
+		return CoRunResult{}, fmt.Errorf("experiments: co-run needs at least 2 cores, have %d", cores)
+	}
+	core, err := platform.ByName(coreName)
+	if err != nil {
+		return CoRunResult{}, err
+	}
+	spec := multicore.Homogeneous(core, cores)
+
+	// The tuning runs (co-run, plus the baseline when requested) execute
+	// concurrently; each fans candidates out over its share of the worker
+	// budget, and the co-run additionally simulates its cores in parallel
+	// (candidate workers × cores stays near the inner budget).
+	nRuns := 1
+	if withBaseline {
+		nRuns = 2
+	}
+	outer := sched.Workers(b.Parallel, nRuns)
+	inner := b.Parallel / outer
+	if inner < 1 {
+		inner = 1
+	}
+	candWorkers := inner / cores
+	if candWorkers < 1 {
+		candWorkers = 1
+	}
+	// Per-core simulation concurrency inside one evaluation never exceeds the
+	// inner budget (with -parallel 1 the whole run stays serial).
+	corePar := cores
+	if corePar > inner {
+		corePar = inner
+	}
+	var corun, baseline stress.Report
+	runs := []func(ctx context.Context) error{
+		func(ctx context.Context) error {
+			plat, err := multicore.New(spec, corePar)
+			if err != nil {
+				return err
+			}
+			corun, err = stress.Run(ctx, stress.CoRunNoiseVirus, stress.Options{
+				Tuner:       tuner.NewGradientDescent(tuner.GDParams{}),
+				Platform:    plat,
+				EvalOptions: platform.EvalOptions{DynamicInstructions: b.DynamicInstructions, Seed: b.Seed},
+				LoopSize:    b.LoopSize,
+				Seed:        b.Seed,
+				MaxEpochs:   b.StressEpochs,
+				Parallel:    candWorkers,
+				NewPlatform: func() (platform.Platform, error) { return multicore.New(spec, corePar) },
+			})
+			if err != nil {
+				return fmt.Errorf("experiments: corun tuning: %w", err)
+			}
+			return nil
+		},
+	}
+	if withBaseline {
+		runs = append(runs, func(ctx context.Context) error {
+			plat, err := platform.NewSimPlatform(core)
+			if err != nil {
+				return err
+			}
+			baseline, err = stress.Run(ctx, stress.VoltageNoiseVirus, stress.Options{
+				Tuner:       tuner.NewGradientDescent(tuner.GDParams{}),
+				Platform:    plat,
+				EvalOptions: platform.EvalOptions{DynamicInstructions: b.DynamicInstructions, Seed: b.Seed},
+				LoopSize:    b.LoopSize,
+				Seed:        b.Seed,
+				MaxEpochs:   b.StressEpochs,
+				Parallel:    inner,
+				NewPlatform: func() (platform.Platform, error) { return platform.NewSimPlatform(core) },
+			})
+			if err != nil {
+				return fmt.Errorf("experiments: single-core baseline: %w", err)
+			}
+			return nil
+		})
+	}
+	if err := sched.Run(ctx, outer, len(runs), func(ctx context.Context, i int) error {
+		return runs[i](ctx)
+	}); err != nil {
+		return CoRunResult{}, err
+	}
+
+	// Characterize the winning co-run on a fresh platform: full chip metric
+	// vector plus the summed chip trace.
+	measure, err := multicore.New(spec, corePar)
+	if err != nil {
+		return CoRunResult{}, err
+	}
+	syn := microprobe.NewSynthesizer(microprobe.Options{LoopSize: b.LoopSize, Seed: b.Seed})
+	progs, err := measure.SynthesizeCoRun(string(stress.CoRunNoiseVirus), corun.Config, syn)
+	if err != nil {
+		return CoRunResult{}, err
+	}
+	evalOpts := platform.EvalOptions{DynamicInstructions: b.DynamicInstructions, Seed: b.Seed, CollectPower: true}
+	full, trace, err := measure.EvaluateCoRunDetailed(progs, evalOpts)
+	if err != nil {
+		return CoRunResult{}, fmt.Errorf("experiments: characterizing co-run: %w", err)
+	}
+	return CoRunResult{
+		Core:     core.Kind,
+		Cores:    cores,
+		Report:   corun,
+		Baseline: baseline,
+		Full:     full,
+		Trace:    trace,
+	}, nil
+}
+
+// Series returns the progression series (co-run chip droop, plus the
+// single-core baseline droop when it was run) for CSV dumps.
+func (r CoRunResult) Series() []report.Series {
+	out := []report.Series{r.Report.ProgressionSeries("CoRun")}
+	if r.Baseline.Epochs > 0 {
+		out = append(out, r.Baseline.ProgressionSeries("SingleCore"))
+	}
+	return out
+}
+
+// Render renders the co-run experiment as a summary table.
+func (r CoRunResult) Render() string {
+	offsets := make([]string, len(r.Report.PhaseOffsets))
+	for i, o := range r.Report.PhaseOffsets {
+		offsets[i] = fmt.Sprintf("%d", o)
+	}
+	t := report.NewTable(fmt.Sprintf("Co-run stress: %d x %s core on a shared PDN (max %s)",
+		r.Cores, r.Core, r.Report.Metric), "quantity", "value")
+	t.AddRow("chip worst droop (mV)", fmt.Sprintf("%.1f", r.Report.BestValue))
+	if r.Baseline.Epochs > 0 {
+		t.AddRow("single-core baseline droop (mV)", fmt.Sprintf("%.1f", r.Baseline.BestValue))
+		if r.Baseline.BestValue > 0 {
+			t.AddRow("co-run / single-core droop", fmt.Sprintf("%.2fx", r.Report.BestValue/r.Baseline.BestValue))
+		}
+	}
+	t.AddRow("chip power (W)", fmt.Sprintf("%.3f", r.Full[metrics.ChipPowerW]))
+	t.AddRow("chip hotspot temp (°C)", fmt.Sprintf("%.1f", r.Full[metrics.ChipTempC]))
+	t.AddRow("phase offsets (instrs)", strings.Join(offsets, ", "))
+	t.AddRow("duty cycle / burst len", fmt.Sprintf("%.1f / %d", r.Report.DutyCycle, r.Report.BurstLen))
+	t.AddRow("epochs / evaluations", fmt.Sprintf("%d / %d", r.Report.Epochs, r.Report.Evaluations))
+	t.AddRow("kernel config", r.Report.Config.String())
+	return t.String()
+}

@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"micrograd/internal/metrics"
+	"micrograd/internal/platform"
+)
+
+func TestRunCoRunBeatsBaselineAndRenders(t *testing.T) {
+	res, err := RunCoRun(context.Background(), "small", 2, transientBudget())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Core != platform.SmallCore || res.Cores != 2 {
+		t.Errorf("result identifies as %d x %s", res.Cores, res.Core)
+	}
+	if res.Report.BestValue <= res.Baseline.BestValue {
+		t.Errorf("co-run chip droop %.2f mV should exceed the single-core baseline %.2f mV",
+			res.Report.BestValue, res.Baseline.BestValue)
+	}
+	for _, name := range []string{metrics.ChipPowerW, metrics.ChipWorstDroopMV, metrics.ChipTempC} {
+		if _, ok := res.Full[name]; !ok {
+			t.Errorf("characterization missing %s", name)
+		}
+	}
+	if res.Trace.Empty() {
+		t.Error("characterization should include the chip trace")
+	}
+	out := res.Render()
+	for _, want := range []string{"chip worst droop", "single-core baseline", "phase offsets"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered result missing %q:\n%s", want, out)
+		}
+	}
+	series := res.Series()
+	if len(series) != 2 || len(series[0].X) == 0 || len(series[1].X) == 0 {
+		t.Error("progression series should cover both runs")
+	}
+}
+
+func TestRunCoRunKindSkipsBaseline(t *testing.T) {
+	res, err := RunCoRunKind(context.Background(), "small", 2, transientBudget())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Baseline.Epochs != 0 {
+		t.Error("RunCoRunKind should not run the single-core baseline")
+	}
+	if res.Report.BestValue <= 0 || res.Trace.Empty() {
+		t.Error("kind run should still tune and characterize the co-run")
+	}
+	if out := res.Render(); strings.Contains(out, "single-core baseline") {
+		t.Errorf("render without a baseline should omit the comparison rows:\n%s", out)
+	}
+	if series := res.Series(); len(series) != 1 {
+		t.Errorf("series without a baseline should have 1 entry, got %d", len(series))
+	}
+}
+
+func TestRunCoRunValidation(t *testing.T) {
+	if _, err := RunCoRun(context.Background(), "small", 1, transientBudget()); err == nil {
+		t.Error("single-core co-run should be rejected")
+	}
+	if _, err := RunCoRun(context.Background(), "medium", 2, transientBudget()); err == nil {
+		t.Error("unknown core should be rejected")
+	}
+}
+
+func TestRunCoRunParallelMatchesSerial(t *testing.T) {
+	serial, err := RunCoRun(context.Background(), "small", 2, transientBudget())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb := transientBudget()
+	pb.Parallel = 8
+	par, err := RunCoRun(context.Background(), "small", 2, pb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Report.BestValue != par.Report.BestValue {
+		t.Errorf("parallel best %v differs from serial %v", par.Report.BestValue, serial.Report.BestValue)
+	}
+	if serial.Report.Config.Key() != par.Report.Config.Key() {
+		t.Error("parallel best configuration differs from serial")
+	}
+}

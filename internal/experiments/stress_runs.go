@@ -40,14 +40,8 @@ type StressResult struct {
 // Series returns the progression series of the experiment (the paper's
 // figure lines): GD, GA and the flat brute-force reference.
 func (r StressResult) Series() []report.Series {
-	gd := report.Series{Name: "GD"}
-	for _, p := range r.GD.Progression {
-		gd.AddPoint(float64(p.Epoch), p.BestValue)
-	}
-	ga := report.Series{Name: "GA"}
-	for _, p := range r.GA.Progression {
-		ga.AddPoint(float64(p.Epoch), p.BestValue)
-	}
+	gd := r.GD.ProgressionSeries("GD")
+	ga := r.GA.ProgressionSeries("GA")
 	ref := report.Series{Name: "BruteForce"}
 	maxEpoch := len(r.GD.Progression)
 	if len(r.GA.Progression) > maxEpoch {

@@ -188,6 +188,11 @@ type Settings struct {
 	// BurstLen is the activity burst period in static instructions. It only
 	// matters when DutyCycle is in (0,1).
 	BurstLen int
+	// PhaseOffset rotates the kernel's loop body (and with it the burst
+	// schedule) by this many static instructions. The co-run platform sets it
+	// per core from the PHASE_OFFSET knobs to phase-shift the cores' activity
+	// bursts against each other; 0 leaves the kernel unrotated.
+	PhaseOffset int
 }
 
 // DefaultSettings returns the settings used when a knob is absent from the
@@ -235,6 +240,9 @@ func (c Config) Settings() Settings {
 			s.DutyCycle = v
 		case KindBurstLen:
 			s.BurstLen = int(v)
+		case KindPhaseOffset:
+			// Per-core knobs: the co-run platform reads PHASE_OFFSET_<i> by
+			// name and sets PhaseOffset on each core's copy of the settings.
 		}
 	}
 	if !hasInstr {
@@ -304,6 +312,9 @@ func (s Settings) Validate() error {
 	}
 	if s.BurstLen < 0 {
 		return fmt.Errorf("knobs: negative burst length %d", s.BurstLen)
+	}
+	if s.PhaseOffset < 0 {
+		return fmt.Errorf("knobs: negative phase offset %d", s.PhaseOffset)
 	}
 	if s.DutyCycle > 0 && s.DutyCycle < 1 && s.BurstLen < 2 {
 		return fmt.Errorf("knobs: duty cycling needs a burst length >= 2, have %d", s.BurstLen)

@@ -30,6 +30,7 @@ const (
 	KindBranchPattern             // fraction of randomized branch directions
 	KindDutyCycle                 // fraction of each activity burst that executes real work
 	KindBurstLen                  // activity burst period in static instructions
+	KindPhaseOffset               // rotation of the kernel's burst schedule in static instructions
 	numKinds
 )
 
@@ -54,6 +55,8 @@ func (k Kind) String() string {
 		return "duty-cycle"
 	case KindBurstLen:
 		return "burst-len"
+	case KindPhaseOffset:
+		return "phase-offset"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -142,6 +145,10 @@ var (
 	branchPatternValues = []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
 	dutyCycleValues     = []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
 	burstLenValues      = []float64{16, 24, 32, 48, 64, 96, 128, 192, 256, 384} // instructions
+	// Phase offsets rotate a core's burst schedule; the range covers the
+	// largest BURST_LEN period so any inter-core phase relationship is
+	// reachable.
+	phaseOffsetValues = []float64{0, 32, 64, 96, 128, 160, 192, 224, 256, 288, 320, 352} // instructions
 )
 
 // Canonical knob names.
@@ -154,7 +161,16 @@ const (
 	NameBranchPattern = "B_PATTERN"
 	NameDutyCycle     = "DUTY_CYCLE"
 	NameBurstLen      = "BURST_LEN"
+	// NamePhaseOffset is the prefix of the per-core phase knobs of a co-run
+	// space; the knob for core i is PhaseOffsetName(i).
+	NamePhaseOffset = "PHASE_OFFSET"
 )
+
+// PhaseOffsetName returns the name of the phase-offset knob of one co-running
+// core ("PHASE_OFFSET_0", "PHASE_OFFSET_1", ...).
+func PhaseOffsetName(core int) string {
+	return fmt.Sprintf("%s_%d", NamePhaseOffset, core)
+}
 
 // instrKnobName maps a knob opcode to its Listing-1 knob name.
 func instrKnobName(op isa.Opcode) string {

@@ -44,6 +44,44 @@ func TestStressSpace(t *testing.T) {
 	}
 }
 
+func TestCoRunStressSpace(t *testing.T) {
+	s := CoRunStressSpace(3)
+	// transient space (13 knobs) + one PHASE_OFFSET per core.
+	if s.Len() != 16 {
+		t.Fatalf("CoRunStressSpace(3) has %d knobs, want 16", s.Len())
+	}
+	for core := 0; core < 3; core++ {
+		i, ok := s.IndexOf(PhaseOffsetName(core))
+		if !ok {
+			t.Fatalf("missing %s", PhaseOffsetName(core))
+		}
+		if d := s.Def(i); d.Kind != KindPhaseOffset {
+			t.Errorf("%s has kind %v, want phase-offset", d.Name, d.Kind)
+		}
+	}
+	if _, ok := s.IndexOf(PhaseOffsetName(3)); ok {
+		t.Error("space should not have a fourth phase knob")
+	}
+	if _, ok := s.IndexOf(NameDutyCycle); !ok {
+		t.Error("co-run space missing DUTY_CYCLE")
+	}
+
+	// Phase knobs are per-core: Settings() ignores them (the co-run platform
+	// applies them per core), and the settings stay valid.
+	cfg := s.MidConfig()
+	set := cfg.Settings()
+	if set.PhaseOffset != 0 {
+		t.Errorf("shared settings should leave PhaseOffset 0, got %d", set.PhaseOffset)
+	}
+	if err := set.Validate(); err != nil {
+		t.Errorf("mid-config settings should validate: %v", err)
+	}
+	set.PhaseOffset = -1
+	if err := set.Validate(); err == nil {
+		t.Error("negative phase offset should be rejected")
+	}
+}
+
 func TestSpaceValidation(t *testing.T) {
 	if _, err := NewSpace(nil); err == nil {
 		t.Error("empty space should be rejected")

@@ -69,14 +69,37 @@ func StressSpace() *Space {
 	return MustSpace(defs)
 }
 
+// transientDefs returns the knob definitions shared by the transient stress
+// spaces: instruction fractions, register dependency distance, and the
+// duty-cycle/burst-length knobs.
+func transientDefs() []Def {
+	defs := instrFractionDefs()
+	defs = append(defs, Def{Name: NameRegDist, Kind: KindRegDist, Values: append([]float64(nil), regDistValues...)})
+	return append(defs, dutyCycleDefs()...)
+}
+
 // TransientStressSpace returns the space used for the transient stress
 // viruses (voltage noise and thermal): the power-virus space extended with
 // the duty-cycle and burst-length knobs, which let the tuner shape — and
 // phase-align — the kernel's activity bursts.
 func TransientStressSpace() *Space {
-	defs := instrFractionDefs()
-	defs = append(defs, Def{Name: NameRegDist, Kind: KindRegDist, Values: append([]float64(nil), regDistValues...)})
-	defs = append(defs, dutyCycleDefs()...)
+	return MustSpace(transientDefs())
+}
+
+// CoRunStressSpace returns the space used for chip-level co-run stress
+// testing on n cores: the transient stress space (one shared kernel) extended
+// with a PHASE_OFFSET knob per core, which rotates that core's burst
+// schedule. The tuner thereby searches the joint space of kernel shape and
+// inter-core burst phase alignment — the degree of freedom that excites a
+// shared power-delivery network hardest.
+func CoRunStressSpace(cores int) *Space {
+	if cores < 1 {
+		cores = 1
+	}
+	defs := transientDefs()
+	for i := 0; i < cores; i++ {
+		defs = append(defs, Def{Name: PhaseOffsetName(i), Kind: KindPhaseOffset, Values: append([]float64(nil), phaseOffsetValues...)})
+	}
 	return MustSpace(defs)
 }
 

@@ -23,6 +23,7 @@ const (
 	FracLoad             = "frac_load"
 	FracStore            = "frac_store"
 	FracBranch           = "frac_branch"
+	FracNop              = "frac_nop"
 	BranchMispredictRate = "branch_mispredict_rate"
 	L1IHitRate           = "l1i_hit_rate"
 	L1DHitRate           = "l1d_hit_rate"
@@ -34,6 +35,12 @@ const (
 	WorstDroopMV     = "worst_droop_mv"     // worst-case supply voltage droop
 	MaxDIDTWPerCycle = "max_didt_w_per_cyc" // largest window-to-window power step
 	TempC            = "temp_c"             // steady-state hotspot temperature
+	// Chip-level metrics produced by the multi-core co-run platform: the
+	// per-core power traces are summed onto a common window grid and driven
+	// through the shared supply and thermal models.
+	ChipPowerW       = "chip_power_w"        // chip-level average dynamic power
+	ChipWorstDroopMV = "chip_worst_droop_mv" // worst-case droop of the shared PDN
+	ChipTempC        = "chip_temp_c"         // hotspot temperature of the shared die
 )
 
 // CloningMetricNames returns the metric set the cloning use case targets by

@@ -228,6 +228,54 @@ func (p DutyCyclePass) Apply(b *Builder) error {
 	return nil
 }
 
+// PhaseRotatePass rotates the loop body (everything except the loop-closing
+// branch) left by OffsetInstrs positions: instruction i of the rotated body is
+// instruction (i+OffsetInstrs) mod body of the original. Over the endless
+// loop the rotated kernel executes the same dynamic instruction stream merely
+// started elsewhere in its period, so steady-state metrics are preserved —
+// but the activity bursts a DutyCyclePass carved now sit at a different phase
+// relative to loop (and simulation) start. Co-running cores run differently
+// rotated copies of one kernel, which is how the PHASE_OFFSET knobs phase
+// their power bursts against each other on the shared supply network.
+//
+// The pass must run after every pass that assigns opcodes, operands or
+// streams by position (profile placement, register allocation, duty cycling):
+// instructions move together with their operands, so dataflow is untouched.
+type PhaseRotatePass struct {
+	// OffsetInstrs is the rotation distance in static instructions; it is
+	// reduced modulo the body length.
+	OffsetInstrs int
+}
+
+// Name implements Pass.
+func (PhaseRotatePass) Name() string { return "PhaseRotate" }
+
+// Apply implements Pass.
+func (p PhaseRotatePass) Apply(b *Builder) error {
+	if len(b.prog.Instructions) == 0 {
+		return fmt.Errorf("building block not created yet")
+	}
+	if p.OffsetInstrs < 0 {
+		return fmt.Errorf("negative phase offset %d", p.OffsetInstrs)
+	}
+	body := len(b.prog.Instructions) - 1 // the loop-closing branch stays put
+	if body < 1 {
+		return nil
+	}
+	off := p.OffsetInstrs % body
+	if off == 0 {
+		return nil
+	}
+	rotated := make([]program.Instruction, body)
+	for i := 0; i < body; i++ {
+		rotated[i] = b.prog.Instructions[(i+off)%body]
+		rotated[i].Label = ""
+	}
+	rotated[0].Label = "kernel_loop"
+	copy(b.prog.Instructions, rotated)
+	return nil
+}
+
 // InitializeRegistersPass records how architectural registers are initialized
 // before the loop is entered. The generated kernels initialize registers in
 // their prologue; this pass carries the policy into the program metadata so

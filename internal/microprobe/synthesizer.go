@@ -95,6 +95,11 @@ func (s *Synthesizer) SynthesizeSettings(name string, set knobs.Settings) (*prog
 		// register the allocator never touches.
 		passes = append(passes, DutyCyclePass{Duty: set.DutyCycle, BurstLen: set.BurstLen})
 	}
+	if set.PhaseOffset > 0 {
+		// Last structural pass: rotating the finished body shifts the burst
+		// schedule without disturbing any positional assignment.
+		passes = append(passes, PhaseRotatePass{OffsetInstrs: set.PhaseOffset})
+	}
 	passes = append(passes, UpdateInstructionAddressesPass{})
 	if err := b.Apply(passes...); err != nil {
 		return nil, err
@@ -109,6 +114,9 @@ func (s *Synthesizer) SynthesizeSettings(name string, set knobs.Settings) (*prog
 	if set.DutyCycle > 0 && set.DutyCycle < 1 {
 		p.Meta["duty_cycle"] = fmt.Sprintf("%.2f", set.DutyCycle)
 		p.Meta["burst_len"] = fmt.Sprintf("%d", set.BurstLen)
+	}
+	if set.PhaseOffset > 0 {
+		p.Meta["phase_offset"] = fmt.Sprintf("%d", set.PhaseOffset)
 	}
 	return p, nil
 }

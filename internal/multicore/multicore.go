@@ -1,0 +1,255 @@
+// Package multicore grows the evaluation platform from one core to N
+// co-running cores sharing a power-delivery network and a die. Each core runs
+// its own kernel on a private platform.SimPlatform (performance and energy
+// are per-core concerns); the per-core power traces are then aligned onto a
+// common window grid — honouring per-core start skews — and summed into a
+// chip-level trace that drives one shared powersim.SupplyModel and
+// powersim.ThermalModel. Worst-case droop and hotspot temperature are
+// chip-level phenomena: co-running kernels that phase-align their activity
+// bursts excite the shared PDN far harder than any single core can, which is
+// exactly the degree of freedom the corun-noise-virus stress kind tunes.
+package multicore
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"micrograd/internal/knobs"
+	"micrograd/internal/metrics"
+	"micrograd/internal/microprobe"
+	"micrograd/internal/platform"
+	"micrograd/internal/powersim"
+	"micrograd/internal/program"
+	"micrograd/internal/sched"
+)
+
+// CoRunSpec describes a multi-core co-run platform: the per-core
+// specifications plus the chip-level supply and thermal models every core's
+// activity feeds into. The per-core Supply/Thermal models inside each
+// CoreSpec still produce that core's own transient metrics; the shared
+// models here see the summed trace.
+type CoRunSpec struct {
+	// Cores are the co-running core configurations. All cores must run at
+	// one clock frequency and record activity windows (WindowCycles > 0).
+	Cores []platform.CoreSpec
+	// Supply is the shared power-delivery network.
+	Supply powersim.SupplyModel
+	// Thermal is the shared die hotspot model.
+	Thermal powersim.ThermalModel
+	// OffsetCycles optionally skews each core's start by this many cycles
+	// when the traces are aligned (nil = all cores start together).
+	OffsetCycles []uint64
+}
+
+// Homogeneous returns a co-run spec of n copies of one core, sharing that
+// core's supply and thermal models at chip level.
+func Homogeneous(core platform.CoreSpec, n int) CoRunSpec {
+	spec := CoRunSpec{Supply: core.Supply, Thermal: core.Thermal}
+	for i := 0; i < n; i++ {
+		spec.Cores = append(spec.Cores, core)
+	}
+	return spec
+}
+
+// Validate checks the spec.
+func (s CoRunSpec) Validate() error {
+	if len(s.Cores) == 0 {
+		return fmt.Errorf("multicore: co-run spec without cores")
+	}
+	for i, c := range s.Cores {
+		if err := c.Validate(); err != nil {
+			return fmt.Errorf("multicore: core %d: %w", i, err)
+		}
+		if c.CPU.WindowCycles <= 0 {
+			return fmt.Errorf("multicore: core %d records no activity windows (WindowCycles = %d)", i, c.CPU.WindowCycles)
+		}
+		if c.CPU.FrequencyGHz != s.Cores[0].CPU.FrequencyGHz {
+			return fmt.Errorf("multicore: core %d runs at %g GHz, core 0 at %g GHz (one clock domain required)",
+				i, c.CPU.FrequencyGHz, s.Cores[0].CPU.FrequencyGHz)
+		}
+	}
+	if s.OffsetCycles != nil && len(s.OffsetCycles) != len(s.Cores) {
+		return fmt.Errorf("multicore: %d start offsets for %d cores", len(s.OffsetCycles), len(s.Cores))
+	}
+	if err := s.Supply.Validate(); err != nil {
+		return err
+	}
+	return s.Thermal.Validate()
+}
+
+// windowCycles returns the chip-level trace grid: the largest per-core window
+// so no core's trace is artificially sharpened by resampling.
+func (s CoRunSpec) windowCycles() int {
+	max := 0
+	for _, c := range s.Cores {
+		if c.CPU.WindowCycles > max {
+			max = c.CPU.WindowCycles
+		}
+	}
+	return max
+}
+
+// CoRunPlatform simulates N co-running cores. It implements
+// platform.Platform (Evaluate runs the same kernel on every core) and
+// stress.ConfigEvaluator (EvaluateConfig derives per-core kernels from one
+// knob configuration via the PHASE_OFFSET knobs).
+//
+// Like the single-core platforms it is not safe for concurrent use; the
+// per-core fan-out inside one evaluation is internal (each core owns its
+// platform instance) and folds results in core order, so evaluations are
+// bit-identical at any Parallel setting.
+type CoRunPlatform struct {
+	spec     CoRunSpec
+	sims     []*platform.SimPlatform
+	parallel int
+	// evaluations counts chip-level Evaluate calls.
+	evaluations uint64
+}
+
+// New builds a co-run platform. parallel bounds how many cores simulate
+// concurrently within one evaluation (<= 1 keeps the per-core loop serial;
+// results are identical either way).
+func New(spec CoRunSpec, parallel int) (*CoRunPlatform, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if parallel < 1 {
+		parallel = 1
+	}
+	c := &CoRunPlatform{spec: spec, parallel: parallel}
+	for _, core := range spec.Cores {
+		sim, err := platform.NewSimPlatform(core)
+		if err != nil {
+			return nil, err
+		}
+		c.sims = append(c.sims, sim)
+	}
+	return c, nil
+}
+
+// Name implements platform.Platform.
+func (c *CoRunPlatform) Name() string {
+	kinds := make([]string, len(c.spec.Cores))
+	for i, core := range c.spec.Cores {
+		kinds[i] = string(core.Kind)
+	}
+	return fmt.Sprintf("corun-%dx-%s", len(kinds), strings.Join(kinds, "+"))
+}
+
+// Spec returns the platform's co-run specification.
+func (c *CoRunPlatform) Spec() CoRunSpec { return c.spec }
+
+// NumCores returns the number of co-running cores.
+func (c *CoRunPlatform) NumCores() int { return len(c.sims) }
+
+// Evaluations returns the number of chip-level evaluations served so far.
+func (c *CoRunPlatform) Evaluations() uint64 { return c.evaluations }
+
+// Evaluate implements platform.Platform: every core co-runs the same kernel.
+func (c *CoRunPlatform) Evaluate(p *program.Program, opts platform.EvalOptions) (metrics.Vector, error) {
+	progs := make([]*program.Program, len(c.sims))
+	for i := range progs {
+		progs[i] = p
+	}
+	return c.EvaluateCoRun(progs, opts)
+}
+
+// EvaluateCoRun simulates one kernel per core and returns the chip-level
+// metric vector.
+func (c *CoRunPlatform) EvaluateCoRun(progs []*program.Program, opts platform.EvalOptions) (metrics.Vector, error) {
+	v, _, err := c.evaluateDetailed(progs, opts)
+	return v, err
+}
+
+// EvaluateCoRunDetailed is EvaluateCoRun plus the summed chip-level power
+// trace (untrimmed), for reporting tools and cmd/mgbench's -trace dump — one
+// simulation pass yields both.
+func (c *CoRunPlatform) EvaluateCoRunDetailed(progs []*program.Program, opts platform.EvalOptions) (metrics.Vector, powersim.PowerTrace, error) {
+	return c.evaluateDetailed(progs, opts)
+}
+
+// EvaluateConfig implements the stress package's ConfigEvaluator: the shared
+// kernel knobs of cfg shape every core's kernel, and core i's burst schedule
+// is rotated by its PHASE_OFFSET_<i> knob (when present). The synthesizer is
+// pure per call, so this composes with candidate-level fan-out.
+func (c *CoRunPlatform) EvaluateConfig(name string, cfg knobs.Config, syn *microprobe.Synthesizer, opts platform.EvalOptions) (metrics.Vector, error) {
+	progs, err := c.SynthesizeCoRun(name, cfg, syn)
+	if err != nil {
+		return nil, err
+	}
+	return c.EvaluateCoRun(progs, opts)
+}
+
+// SynthesizeCoRun generates the per-core kernels of a knob configuration:
+// one shared kernel shape, rotated per core by the PHASE_OFFSET knobs.
+func (c *CoRunPlatform) SynthesizeCoRun(name string, cfg knobs.Config, syn *microprobe.Synthesizer) ([]*program.Program, error) {
+	set := cfg.Settings()
+	progs := make([]*program.Program, len(c.sims))
+	for i := range c.sims {
+		coreSet := set
+		if off, ok := cfg.ValueByName(knobs.PhaseOffsetName(i)); ok {
+			coreSet.PhaseOffset = int(off)
+		}
+		p, err := syn.SynthesizeSettings(fmt.Sprintf("%s-core%d", name, i), coreSet)
+		if err != nil {
+			return nil, fmt.Errorf("multicore: synthesizing core %d kernel: %w", i, err)
+		}
+		progs[i] = p
+	}
+	return progs, nil
+}
+
+// coreRun is one core's contribution to a chip evaluation.
+type coreRun struct {
+	vector metrics.Vector
+	trace  powersim.PowerTrace
+}
+
+// evaluateDetailed fans the per-core simulations out (bit-identical to the
+// serial loop: each core owns its platform and results fold in core order),
+// sums the aligned traces and derives the chip metrics.
+func (c *CoRunPlatform) evaluateDetailed(progs []*program.Program, opts platform.EvalOptions) (metrics.Vector, powersim.PowerTrace, error) {
+	if len(progs) != len(c.sims) {
+		return nil, powersim.PowerTrace{}, fmt.Errorf("multicore: %d kernels for %d cores", len(progs), len(c.sims))
+	}
+	opts.CollectPower = true // chip metrics need every core's trace
+	runs, err := sched.Map(context.Background(), c.parallel, c.sims,
+		func(_ context.Context, i int, sim *platform.SimPlatform) (coreRun, error) {
+			v, res, err := sim.EvaluateDetailed(progs[i], opts)
+			if err != nil {
+				return coreRun{}, fmt.Errorf("multicore: core %d: %w", i, err)
+			}
+			return coreRun{vector: v, trace: sim.PowerTrace(res)}, nil
+		})
+	if err != nil {
+		return nil, powersim.PowerTrace{}, err
+	}
+	c.evaluations++
+
+	traces := make([]powersim.PowerTrace, len(runs))
+	for i, r := range runs {
+		traces[i] = r.trace
+	}
+	chip, err := powersim.SumTraces(c.spec.windowCycles(), c.spec.OffsetCycles, traces...)
+	if err != nil {
+		return nil, powersim.PowerTrace{}, fmt.Errorf("multicore: summing traces: %w", err)
+	}
+
+	v := metrics.Vector{}
+	for i, r := range runs {
+		v[coreMetric(i, metrics.IPC)] = r.vector[metrics.IPC]
+		v[coreMetric(i, metrics.DynamicPowerW)] = r.vector[metrics.DynamicPowerW]
+		v[coreMetric(i, metrics.WorstDroopMV)] = r.vector[metrics.WorstDroopMV]
+	}
+	v[metrics.ChipPowerW] = chip.AvgPowerW()
+	steady := chip.TrimWarmupCapped(platform.TraceWarmupWindows)
+	v[metrics.ChipWorstDroopMV] = c.spec.Supply.WorstDroopMV(steady)
+	v[metrics.ChipTempC] = c.spec.Thermal.SteadyTempC(steady)
+	return v, chip, nil
+}
+
+// coreMetric names core i's copy of a per-core metric ("core0_ipc", ...).
+func coreMetric(core int, name string) string {
+	return fmt.Sprintf("core%d_%s", core, name)
+}

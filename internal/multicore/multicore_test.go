@@ -1,0 +1,198 @@
+package multicore
+
+import (
+	"testing"
+
+	"micrograd/internal/knobs"
+	"micrograd/internal/metrics"
+	"micrograd/internal/microprobe"
+	"micrograd/internal/platform"
+	"micrograd/internal/program"
+)
+
+func twoSmall(t *testing.T, parallel int) *CoRunPlatform {
+	t.Helper()
+	c, err := New(Homogeneous(platform.Small(), 2), parallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func testKernel(t *testing.T) *program.Program {
+	t.Helper()
+	syn := microprobe.NewSynthesizer(microprobe.Options{LoopSize: 200, Seed: 1})
+	p, err := syn.Synthesize("corun-test", knobs.TransientStressSpace().MidConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestCoRunSpecValidation(t *testing.T) {
+	if err := (CoRunSpec{}).Validate(); err == nil {
+		t.Error("empty spec should be rejected")
+	}
+	spec := Homogeneous(platform.Small(), 2)
+	if err := spec.Validate(); err != nil {
+		t.Errorf("homogeneous spec should validate: %v", err)
+	}
+	spec.OffsetCycles = []uint64{1}
+	if err := spec.Validate(); err == nil {
+		t.Error("offset/core count mismatch should be rejected")
+	}
+	mixed := CoRunSpec{Cores: []platform.CoreSpec{platform.Small(), platform.Large()},
+		Supply: platform.Small().Supply, Thermal: platform.Small().Thermal}
+	mixed.Cores[1].CPU.FrequencyGHz = 3
+	if err := mixed.Validate(); err == nil {
+		t.Error("mixed clock domains should be rejected")
+	}
+	noWin := Homogeneous(platform.Small(), 2)
+	noWin.Cores[0].CPU.WindowCycles = 0
+	if err := noWin.Validate(); err == nil {
+		t.Error("core without activity windows should be rejected")
+	}
+}
+
+func TestCoRunEvaluateProducesChipMetrics(t *testing.T) {
+	c := twoSmall(t, 1)
+	v, err := c.Evaluate(testKernel(t), platform.EvalOptions{DynamicInstructions: 6000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{metrics.ChipPowerW, metrics.ChipWorstDroopMV, metrics.ChipTempC,
+		"core0_ipc", "core1_ipc", "core0_dynamic_power_w", "core1_worst_droop_mv"} {
+		if _, ok := v[name]; !ok {
+			t.Errorf("chip evaluation missing %s", name)
+		}
+	}
+	if v[metrics.ChipWorstDroopMV] <= v["core0_worst_droop_mv"] {
+		t.Errorf("chip droop %v should exceed a single co-runner's private droop %v",
+			v[metrics.ChipWorstDroopMV], v["core0_worst_droop_mv"])
+	}
+	// Two identical co-runners draw twice one core's power at chip level.
+	if chip, one := v[metrics.ChipPowerW], v["core0_dynamic_power_w"]; chip < 1.9*one || chip > 2.1*one {
+		t.Errorf("chip power %v should be ~2x core power %v", chip, one)
+	}
+	if c.Evaluations() != 1 {
+		t.Errorf("evaluation count %d, want 1", c.Evaluations())
+	}
+}
+
+func TestCoRunParallelBitIdenticalToSerial(t *testing.T) {
+	p := testKernel(t)
+	opts := platform.EvalOptions{DynamicInstructions: 6000, Seed: 1}
+	serial, err := twoSmall(t, 1).Evaluate(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := twoSmall(t, 4).Evaluate(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != len(par) {
+		t.Fatalf("metric sets differ: %d vs %d", len(serial), len(par))
+	}
+	for name, want := range serial {
+		if got := par[name]; got != want {
+			t.Errorf("metric %s: parallel %v != serial %v", name, got, want)
+		}
+	}
+}
+
+func TestEvaluateConfigRotatesPerCore(t *testing.T) {
+	c := twoSmall(t, 1)
+	space := knobs.CoRunStressSpace(2)
+	cfg, err := space.ConfigFromValues(map[string]float64{
+		"ADD": 5, "FMULD": 8, knobs.NameDutyCycle: 0.5, knobs.NameBurstLen: 64,
+		knobs.PhaseOffsetName(0): 0, knobs.PhaseOffsetName(1): 96,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	syn := microprobe.NewSynthesizer(microprobe.Options{LoopSize: 200, Seed: 1})
+	progs, err := c.SynthesizeCoRun("corun-test", cfg, syn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if progs[0].Meta["phase_offset"] != "" {
+		t.Errorf("core 0 at offset 0 should be unrotated, meta %q", progs[0].Meta["phase_offset"])
+	}
+	if progs[1].Meta["phase_offset"] != "96" {
+		t.Errorf("core 1 should be rotated by 96, meta %q", progs[1].Meta["phase_offset"])
+	}
+	v, err := c.EvaluateConfig("corun-test", cfg, syn, platform.EvalOptions{DynamicInstructions: 6000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v[metrics.ChipWorstDroopMV] <= 0 {
+		t.Errorf("chip droop %v should be positive", v[metrics.ChipWorstDroopMV])
+	}
+}
+
+func TestCoRunRejectsKernelCountMismatch(t *testing.T) {
+	c := twoSmall(t, 1)
+	if _, err := c.EvaluateCoRun([]*program.Program{testKernel(t)}, platform.EvalOptions{DynamicInstructions: 1000}); err == nil {
+		t.Error("kernel/core count mismatch should be rejected")
+	}
+}
+
+func TestCoRunName(t *testing.T) {
+	c := twoSmall(t, 1)
+	if got, want := c.Name(), "corun-2x-small+small"; got != want {
+		t.Errorf("name %q, want %q", got, want)
+	}
+	if c.NumCores() != 2 {
+		t.Errorf("NumCores %d, want 2", c.NumCores())
+	}
+}
+
+func TestStartSkewChangesChipTrace(t *testing.T) {
+	// The same two kernels with and without a start skew must produce
+	// different chip waveforms (the aligned case stacks bursts; the skewed
+	// case spreads them) while conserving total energy.
+	aligned := twoSmall(t, 1)
+	skewSpec := Homogeneous(platform.Small(), 2)
+	skewSpec.OffsetCycles = []uint64{0, 2048}
+	skewed, err := New(skewSpec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := testKernel(t)
+	opts := platform.EvalOptions{DynamicInstructions: 6000, Seed: 1}
+	progs := []*program.Program{p, p}
+	_, ta, err := aligned.EvaluateCoRunDetailed(progs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts, err := skewed.EvaluateCoRunDetailed(progs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts.Points) <= len(ta.Points) {
+		t.Errorf("skewed trace (%d windows) should outlast aligned (%d windows)",
+			len(ts.Points), len(ta.Points))
+	}
+	var ea, es float64
+	for _, pt := range ta.Points {
+		ea += pt.EnergyPJ
+	}
+	for _, pt := range ts.Points {
+		es += pt.EnergyPJ
+	}
+	if diff := es - ea; diff > 1e-6*ea || diff < -1e-6*ea {
+		t.Errorf("skew changed total energy: aligned %v, skewed %v", ea, es)
+	}
+}
+
+func TestHomogeneousBuildsNCores(t *testing.T) {
+	for _, n := range []int{2, 4} {
+		spec := Homogeneous(platform.Large(), n)
+		if len(spec.Cores) != n {
+			t.Errorf("Homogeneous(%d) built %d cores", n, len(spec.Cores))
+		}
+		if _, err := New(spec, n); err != nil {
+			t.Errorf("building %d-core platform: %v", n, err)
+		}
+	}
+}

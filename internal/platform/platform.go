@@ -254,12 +254,7 @@ func (s *SimPlatform) addPowerMetrics(v metrics.Vector, res cpusim.Result) {
 	if len(res.Windows) == 0 {
 		return
 	}
-	trace := s.power.Trace(res)
-	warm := TraceWarmupWindows
-	if max := len(trace.Points) / 4; warm > max {
-		warm = max
-	}
-	steady := trace.TrimWarmup(warm)
+	steady := s.power.Trace(res).TrimWarmupCapped(TraceWarmupWindows)
 	v[metrics.WorstDroopMV] = s.spec.Supply.WorstDroopMV(steady)
 	v[metrics.MaxDIDTWPerCycle] = steady.MaxStepWPerCycle()
 	v[metrics.TempC] = s.spec.Thermal.SteadyTempC(steady)
@@ -301,6 +296,7 @@ func ResultVector(res cpusim.Result) metrics.Vector {
 		metrics.FracLoad:             res.ClassFraction(isa.ClassLoad),
 		metrics.FracStore:            res.ClassFraction(isa.ClassStore),
 		metrics.FracBranch:           res.ClassFraction(isa.ClassBranch),
+		metrics.FracNop:              res.ClassFraction(isa.ClassNop),
 		metrics.BranchMispredictRate: res.Branch.MispredictRate(),
 		metrics.L1IHitRate:           res.L1I.HitRate(),
 		metrics.L1DHitRate:           res.L1D.HitRate(),

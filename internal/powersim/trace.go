@@ -93,6 +93,16 @@ func (t PowerTrace) TrimWarmup(n int) PowerTrace {
 	return t
 }
 
+// TrimWarmupCapped trims up to n warmup windows, capped at a quarter of the
+// trace so very short runs keep most of their samples. It is the shared
+// warmup policy of the single-core and chip-level transient analyses.
+func (t PowerTrace) TrimWarmupCapped(n int) PowerTrace {
+	if max := len(t.Points) / 4; n > max {
+		n = max
+	}
+	return t.TrimWarmup(n)
+}
+
 // AvgPowerW returns the trace's cycle-weighted average power.
 func (t PowerTrace) AvgPowerW() float64 {
 	var energy, cycles float64
@@ -146,6 +156,96 @@ func (t PowerTrace) MaxStepWPerCycle() float64 {
 		}
 	}
 	return max
+}
+
+// Resample redistributes the trace's energy onto a fresh grid of
+// windowCycles-long windows, with the whole trace shifted right by
+// offsetCycles (the leading offset windows draw no power). Energy is
+// conserved: each point's energy is spread uniformly over its cycle span and
+// accumulated into the grid windows it overlaps.
+func (t PowerTrace) Resample(windowCycles int, offsetCycles uint64) (PowerTrace, error) {
+	return SumTraces(windowCycles, []uint64{offsetCycles}, t)
+}
+
+// SumTraces aligns several power traces onto one common grid of
+// windowCycles-long windows — shifting trace i right by offsets[i] cycles
+// (nil means no skew) — and sums them into a single chip-level trace. The
+// traces may have different window lengths and run lengths; they must share
+// one clock frequency. Summation order is fixed (trace order, then window
+// order), so the result is bit-deterministic.
+//
+// This is the aggregation step of the multi-core co-run platform: per-core
+// traces, offset by each core's start skew, become the load waveform the
+// shared supply and thermal models see.
+func SumTraces(windowCycles int, offsets []uint64, traces ...PowerTrace) (PowerTrace, error) {
+	if windowCycles <= 0 {
+		return PowerTrace{}, fmt.Errorf("powersim: non-positive sum window length %d", windowCycles)
+	}
+	if len(traces) == 0 {
+		return PowerTrace{}, fmt.Errorf("powersim: no traces to sum")
+	}
+	if offsets != nil && len(offsets) != len(traces) {
+		return PowerTrace{}, fmt.Errorf("powersim: %d offsets for %d traces", len(offsets), len(traces))
+	}
+	freq := traces[0].FrequencyGHz
+	var end uint64
+	for i, tr := range traces {
+		if tr.FrequencyGHz != freq {
+			return PowerTrace{}, fmt.Errorf("powersim: trace %d runs at %g GHz, trace 0 at %g GHz", i, tr.FrequencyGHz, freq)
+		}
+		var cycles uint64
+		for _, p := range tr.Points {
+			cycles += p.Cycles
+		}
+		if offsets != nil {
+			cycles += offsets[i]
+		}
+		if cycles > end {
+			end = cycles
+		}
+	}
+	out := PowerTrace{WindowCycles: windowCycles, FrequencyGHz: freq}
+	if end == 0 {
+		return out, nil
+	}
+	wc := uint64(windowCycles)
+	energy := make([]float64, int((end+wc-1)/wc))
+	for i, tr := range traces {
+		cursor := uint64(0)
+		if offsets != nil {
+			cursor = offsets[i]
+		}
+		for _, p := range tr.Points {
+			if p.Cycles == 0 {
+				continue
+			}
+			perCycle := p.EnergyPJ / float64(p.Cycles)
+			remaining := p.Cycles
+			for remaining > 0 {
+				w := cursor / wc
+				take := (w+1)*wc - cursor
+				if take > remaining {
+					take = remaining
+				}
+				energy[w] += float64(take) * perCycle
+				cursor += take
+				remaining -= take
+			}
+		}
+	}
+	out.Points = make([]TracePoint, len(energy))
+	for w := range energy {
+		cycles := wc
+		if tail := end - uint64(w)*wc; tail < cycles {
+			cycles = tail
+		}
+		pt := TracePoint{Cycles: cycles, EnergyPJ: energy[w]}
+		if cycles > 0 {
+			pt.PowerW = pt.EnergyPJ / float64(cycles) * freq / 1000
+		}
+		out.Points[w] = pt
+	}
+	return out, nil
 }
 
 // WriteCSV dumps the trace as "window,cycles,time_ns,energy_pj,power_w"

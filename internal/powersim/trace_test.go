@@ -102,6 +102,130 @@ func TestMaxStepWPerCycle(t *testing.T) {
 	}
 }
 
+func TestMaxStepExcludesPartialTailWindow(t *testing.T) {
+	// A run rarely ends on a window boundary; the short tail window averages
+	// its energy over few cycles and would fake a huge dI/dt step. The metric
+	// must skip steps into (and out of) partial windows.
+	tr := flatTrace(6, 0.5)
+	tail := TracePoint{Cycles: 4, EnergyPJ: 0.5 * 1000 * 4 / 2 * 10, PowerW: 5.0}
+	tr.Points = append(tr.Points, tail)
+	if got := tr.MaxStepWPerCycle(); got != 0 {
+		t.Errorf("partial tail window leaked into the step metric: %v", got)
+	}
+	// A real step between full windows still registers with the tail present.
+	tr2 := squareTrace(6, 3, 0.2, 1.0)
+	tr2.Points = append(tr2.Points, tail)
+	want := (1.0 - 0.2) / 64
+	if got := tr2.MaxStepWPerCycle(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("max step %v, want %v (tail must not drown full-window steps)", got, want)
+	}
+}
+
+func TestSumTracesConservesEnergyAndAligns(t *testing.T) {
+	a := flatTrace(4, 0.5)           // 256 cycles at 0.5 W
+	b := squareTrace(4, 1, 0.2, 1.0) // 256 cycles alternating
+	sum, err := SumTraces(64, nil, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Points) != 4 {
+		t.Fatalf("summed trace has %d windows, want 4", len(sum.Points))
+	}
+	var wantE, gotE float64
+	for i := range a.Points {
+		wantE += a.Points[i].EnergyPJ + b.Points[i].EnergyPJ
+	}
+	for _, p := range sum.Points {
+		gotE += p.EnergyPJ
+	}
+	if math.Abs(gotE-wantE) > 1e-9 {
+		t.Errorf("summed energy %v, want %v (energy must be conserved)", gotE, wantE)
+	}
+	if got, want := sum.Points[0].PowerW, 0.5+0.2; math.Abs(got-want) > 1e-12 {
+		t.Errorf("window 0 power %v, want %v", got, want)
+	}
+	if got, want := sum.Points[1].PowerW, 0.5+1.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("window 1 power %v, want %v", got, want)
+	}
+}
+
+func TestSumTracesHonoursOffsets(t *testing.T) {
+	a := flatTrace(2, 1.0)
+	// Offset the second core by half a window: its energy splits across the
+	// grid windows it overlaps, and the total span grows by the skew.
+	sum, err := SumTraces(64, []uint64{0, 32}, a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Points) != 3 {
+		t.Fatalf("skewed sum has %d windows, want 3", len(sum.Points))
+	}
+	perWindow := a.Points[0].EnergyPJ
+	if got, want := sum.Points[0].EnergyPJ, perWindow*1.5; math.Abs(got-want) > 1e-9 {
+		t.Errorf("window 0 energy %v, want %v (full + half overlap)", got, want)
+	}
+	if got, want := sum.Points[2].EnergyPJ, perWindow*0.5; math.Abs(got-want) > 1e-9 {
+		t.Errorf("tail window energy %v, want %v", got, want)
+	}
+	if got := sum.Points[2].Cycles; got != 32 {
+		t.Errorf("tail window spans %d cycles, want 32", got)
+	}
+}
+
+func TestSumTracesResamplesMixedWindowLengths(t *testing.T) {
+	fine := PowerTrace{WindowCycles: 32, FrequencyGHz: 2}
+	for i := 0; i < 4; i++ {
+		fine.Points = append(fine.Points, TracePoint{Cycles: 32, EnergyPJ: 100, PowerW: 100 / 32.0 * 2 / 1000})
+	}
+	coarse := flatTrace(2, 0.5)
+	sum, err := SumTraces(64, nil, fine, coarse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Points) != 2 {
+		t.Fatalf("mixed-window sum has %d windows, want 2", len(sum.Points))
+	}
+	want := 200 + coarse.Points[0].EnergyPJ
+	if got := sum.Points[0].EnergyPJ; math.Abs(got-want) > 1e-9 {
+		t.Errorf("window 0 energy %v, want %v", got, want)
+	}
+}
+
+func TestSumTracesRejectsBadInputs(t *testing.T) {
+	a := flatTrace(2, 1.0)
+	if _, err := SumTraces(0, nil, a); err == nil {
+		t.Error("non-positive window length should be rejected")
+	}
+	if _, err := SumTraces(64, nil); err == nil {
+		t.Error("empty trace list should be rejected")
+	}
+	if _, err := SumTraces(64, []uint64{1}, a, a); err == nil {
+		t.Error("offset/trace count mismatch should be rejected")
+	}
+	b := a
+	b.FrequencyGHz = 3
+	if _, err := SumTraces(64, nil, a, b); err == nil {
+		t.Error("mixed clock frequencies should be rejected")
+	}
+}
+
+func TestResampleShiftsTrace(t *testing.T) {
+	a := flatTrace(2, 1.0)
+	shifted, err := a.Resample(64, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shifted.Points) != 3 {
+		t.Fatalf("shifted trace has %d windows, want 3", len(shifted.Points))
+	}
+	if shifted.Points[0].EnergyPJ != 0 {
+		t.Errorf("leading offset window should be idle, has %v pJ", shifted.Points[0].EnergyPJ)
+	}
+	if got, want := shifted.Points[1].EnergyPJ, a.Points[0].EnergyPJ; got != want {
+		t.Errorf("shifted window 1 energy %v, want %v", got, want)
+	}
+}
+
 func TestTrimWarmup(t *testing.T) {
 	tr := flatTrace(10, 0.5)
 	if got := tr.TrimWarmup(3); len(got.Points) != 7 {

@@ -1,0 +1,174 @@
+package stress
+
+import (
+	"context"
+	"testing"
+
+	"micrograd/internal/isa"
+	"micrograd/internal/knobs"
+	"micrograd/internal/metrics"
+	"micrograd/internal/multicore"
+	"micrograd/internal/platform"
+)
+
+// corunOptions returns deterministic quick-budget options on two co-running
+// Small cores sharing the default PDN.
+func corunOptions(t *testing.T) Options {
+	t.Helper()
+	plat, err := multicore.New(multicore.Homogeneous(platform.Small(), 2), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Options{
+		Platform:    plat,
+		EvalOptions: platform.EvalOptions{DynamicInstructions: 8000, Seed: 1},
+		LoopSize:    250,
+		Seed:        1,
+		MaxEpochs:   10,
+	}
+}
+
+func TestCoRunKindByName(t *testing.T) {
+	got, err := KindByName(string(CoRunNoiseVirus))
+	if err != nil || got != CoRunNoiseVirus {
+		t.Errorf("KindByName(corun-noise-virus) = %v, %v", got, err)
+	}
+	for _, k := range Kinds() {
+		if k == CoRunNoiseVirus {
+			t.Error("CoRunNoiseVirus must not appear in the single-platform kind list")
+		}
+	}
+}
+
+// TestCoRunNoiseVirusBeatsSingleCoreDroop is the headline chip-level
+// property: two Small cores tuned jointly on a shared PDN — same kernel
+// shape, per-core burst-phase rotation — must excite strictly worse supply
+// droop than the single-core voltage-noise virus on the same core, because
+// the co-runners stack their phase-aligned current bursts.
+func TestCoRunNoiseVirusBeatsSingleCoreDroop(t *testing.T) {
+	ctx := context.Background()
+	single, err := Run(ctx, VoltageNoiseVirus, smallOptions(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	corun, err := Run(ctx, CoRunNoiseVirus, corunOptions(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if corun.Metric != metrics.ChipWorstDroopMV || !corun.Maximize {
+		t.Errorf("corun virus should maximize %s, got %s maximize=%v",
+			metrics.ChipWorstDroopMV, corun.Metric, corun.Maximize)
+	}
+	if corun.BestValue <= single.BestValue {
+		t.Errorf("tuned 2-core chip droop %.2f mV should strictly exceed the single-core voltage-noise virus's %.2f mV",
+			corun.BestValue, single.BestValue)
+	}
+	if len(corun.PhaseOffsets) != 2 {
+		t.Errorf("report carries %d phase offsets, want 2", len(corun.PhaseOffsets))
+	}
+	for _, name := range []string{knobs.PhaseOffsetName(0), knobs.PhaseOffsetName(1)} {
+		if _, ok := corun.Config.Space().IndexOf(name); !ok {
+			t.Errorf("corun space should tune %s", name)
+		}
+	}
+	if _, ok := corun.BestMetrics[metrics.ChipWorstDroopMV]; !ok {
+		t.Error("best metrics should include the chip droop metric")
+	}
+	if corun.InstrMix != nil {
+		t.Error("chip-level vectors carry no class fractions; the mix should be nil, not all-zero")
+	}
+}
+
+func TestCoRunRequiresCoRunPlatform(t *testing.T) {
+	opts := smallOptions(t) // plain single-core SimPlatform
+	if _, err := Run(context.Background(), CoRunNoiseVirus, opts); err == nil {
+		t.Error("corun-noise-virus on a single-core platform should be rejected, not tune into -Inf")
+	}
+}
+
+func TestSingleKindsRejectCoRunPlatform(t *testing.T) {
+	// A co-run platform produces only chip-level metrics; pairing it with a
+	// single-platform kind would tune on a metric that is always absent.
+	opts := corunOptions(t)
+	if _, err := Run(context.Background(), PowerVirus, opts); err == nil {
+		t.Error("power-virus on a co-run platform should be rejected")
+	}
+	// An explicit chip-level metric override opts out of the pairing check.
+	opts = corunOptions(t)
+	opts.Metric = metrics.ChipPowerW
+	opts.Maximize = true
+	opts.MaxEpochs = 3
+	rep, err := Run(context.Background(), PowerVirus, opts)
+	if err != nil {
+		t.Fatalf("explicit chip metric should be allowed: %v", err)
+	}
+	if rep.BestValue <= 0 {
+		t.Errorf("chip power %v should be positive", rep.BestValue)
+	}
+}
+
+func TestCoRunRejectsMismatchedWorkerPlatforms(t *testing.T) {
+	opts := corunOptions(t)
+	opts.MaxEpochs = 2
+	opts.Parallel = 2
+	opts.NewPlatform = func() (platform.Platform, error) {
+		return platform.NewSimPlatform(platform.Small()) // wrong: single-core worker
+	}
+	if _, err := Run(context.Background(), CoRunNoiseVirus, opts); err == nil {
+		t.Error("single-core worker platforms under a co-run primary should be rejected")
+	}
+}
+
+// TestCoRunParallelMatchesSerial extends the serial≡parallel determinism
+// guarantee to the co-run kind across both fan-out levels: candidate
+// evaluations across workers and core simulations inside each evaluation.
+func TestCoRunParallelMatchesSerial(t *testing.T) {
+	serialOpts := corunOptions(t)
+	serialOpts.MaxEpochs = 6
+	serial, err := Run(context.Background(), CoRunNoiseVirus, serialOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parOpts := corunOptions(t)
+	parOpts.MaxEpochs = 6
+	parOpts.Parallel = 4
+	parOpts.NewPlatform = func() (platform.Platform, error) {
+		return multicore.New(multicore.Homogeneous(platform.Small(), 2), 2)
+	}
+	par, err := Run(context.Background(), CoRunNoiseVirus, parOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.BestValue != par.BestValue {
+		t.Errorf("parallel best %v differs from serial %v", par.BestValue, serial.BestValue)
+	}
+	if serial.Config.Key() != par.Config.Key() {
+		t.Errorf("parallel config %s differs from serial %s", par.Config, serial.Config)
+	}
+}
+
+// TestInstrMixIncludesNopAndSumsToOne pins the NOP-mix bugfix: the reported
+// instruction mix covers all six classes (NOP included), so the fractions of
+// any stress report partition the dynamic instruction stream exactly.
+func TestInstrMixIncludesNopAndSumsToOne(t *testing.T) {
+	for _, kind := range []Kind{PowerVirus, VoltageNoiseVirus} {
+		t.Run(string(kind), func(t *testing.T) {
+			opts := smallOptions(t)
+			opts.MaxEpochs = 4
+			rep, err := Run(context.Background(), kind, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, ok := rep.InstrMix[isa.ClassNop]; !ok {
+				t.Error("instruction mix should carry the NOP class")
+			}
+			sum := 0.0
+			for _, f := range rep.InstrMix {
+				sum += f
+			}
+			if sum < 1-1e-9 || sum > 1+1e-9 {
+				t.Errorf("instruction mix sums to %v, want 1±1e-9", sum)
+			}
+		})
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"micrograd/internal/microprobe"
 	"micrograd/internal/platform"
 	"micrograd/internal/program"
+	"micrograd/internal/report"
 	"micrograd/internal/sched"
 	"micrograd/internal/tuner"
 )
@@ -34,21 +35,30 @@ const (
 	// ThermalVirus maximizes the steady-state hotspot temperature of the
 	// lumped thermal-RC model.
 	ThermalVirus Kind = "thermal-virus"
+	// CoRunNoiseVirus maximizes the worst-case droop of a shared multi-core
+	// power-delivery network: N cores co-run phase-rotated copies of one
+	// kernel, and the tuner searches the joint space of kernel shape and
+	// per-core PHASE_OFFSET. It requires a co-run platform
+	// (internal/multicore.CoRunPlatform).
+	CoRunNoiseVirus Kind = "corun-noise-virus"
 )
 
-// Kinds returns every built-in stress kind.
+// Kinds returns every built-in single-platform stress kind (the ones a plain
+// platform.SimPlatform can evaluate). CoRunNoiseVirus is excluded: it needs
+// the multi-core co-run platform.
 func Kinds() []Kind {
 	return []Kind{PerfVirus, PowerVirus, VoltageNoiseVirus, ThermalVirus}
 }
 
-// KindByName resolves a kind name, accepting exactly the built-in kinds.
+// KindByName resolves a kind name, accepting the built-in kinds plus the
+// multi-core CoRunNoiseVirus.
 func KindByName(name string) (Kind, error) {
-	for _, k := range Kinds() {
+	for _, k := range append(Kinds(), CoRunNoiseVirus) {
 		if string(k) == name {
 			return k, nil
 		}
 	}
-	return "", fmt.Errorf("stress: unknown kind %q (want one of %v)", name, Kinds())
+	return "", fmt.Errorf("stress: unknown kind %q (want one of %v)", name, append(Kinds(), CoRunNoiseVirus))
 }
 
 // DefaultMaxEpochs bounds stress tuning runs; the paper's stress tests
@@ -111,6 +121,8 @@ func (o Options) goal(kind Kind) (string, bool, error) {
 		return metrics.WorstDroopMV, true, nil
 	case ThermalVirus:
 		return metrics.TempC, true, nil
+	case CoRunNoiseVirus:
+		return metrics.ChipWorstDroopMV, true, nil
 	default:
 		return "", false, fmt.Errorf("stress: unknown kind %q and no explicit metric", kind)
 	}
@@ -126,6 +138,12 @@ func (o Options) normalized(kind Kind) Options {
 			o.Space = knobs.StressSpace()
 		case kind == VoltageNoiseVirus || kind == ThermalVirus:
 			o.Space = knobs.TransientStressSpace()
+		case kind == CoRunNoiseVirus:
+			cores := 2
+			if cr, ok := o.Platform.(interface{ NumCores() int }); ok {
+				cores = cr.NumCores()
+			}
+			o.Space = knobs.CoRunStressSpace(cores)
 		default:
 			o.Space = knobs.InstructionOnlySpace()
 		}
@@ -172,6 +190,9 @@ type Report struct {
 	// stress test (1 and 0 when the space does not tune them).
 	DutyCycle float64
 	BurstLen  int
+	// PhaseOffsets are the per-core burst-schedule rotations chosen by a
+	// co-run stress test (nil when the space has no PHASE_OFFSET knobs).
+	PhaseOffsets []int
 	// Config is the best knob configuration.
 	Config knobs.Config
 	// Program is the generated stress kernel.
@@ -184,6 +205,16 @@ type Report struct {
 	TunerResult tuner.Result
 }
 
+// ProgressionSeries converts the per-epoch progression into a named series
+// for charts and CSV dumps.
+func (r Report) ProgressionSeries(name string) report.Series {
+	s := report.Series{Name: name}
+	for _, p := range r.Progression {
+		s.AddPoint(float64(p.Epoch), p.BestValue)
+	}
+	return s
+}
+
 // Run generates a stress test of the given kind.
 func Run(ctx context.Context, kind Kind, opts Options) (Report, error) {
 	metric, maximize, err := opts.goal(kind)
@@ -194,14 +225,34 @@ func Run(ctx context.Context, kind Kind, opts Options) (Report, error) {
 	if opts.Platform == nil {
 		return Report{}, fmt.Errorf("stress: no evaluation platform configured")
 	}
+	// A kind and its platform must pair up: the co-run kind needs a platform
+	// that synthesizes per-core kernels, and the single-platform kinds stress
+	// metrics a chip-level vector never carries. An explicit Metric override
+	// opts out (the caller is stressing a custom metric knowingly).
+	_, coRunPlat := opts.Platform.(ConfigEvaluator)
+	switch {
+	case kind == CoRunNoiseVirus && !coRunPlat:
+		return Report{}, fmt.Errorf("stress: %s requires a co-run platform (got %s, which cannot synthesize per-core kernels)",
+			kind, opts.Platform.Name())
+	case kind != CoRunNoiseVirus && coRunPlat && opts.Metric == "":
+		return Report{}, fmt.Errorf("stress: %s stresses %s, which the co-run platform %s does not produce (use %s, or set Metric explicitly)",
+			kind, metric, opts.Platform.Name(), CoRunNoiseVirus)
+	}
 	evalOpts := opts.EvalOptions
 	if powerDerived(metric) {
 		evalOpts.CollectPower = true
 	}
 
 	// One shared synthesizer (pure per call), one platform per worker.
+	// Platforms that synthesize their own kernels from the configuration
+	// (the multi-core co-run platform) take the ConfigEvaluator path.
 	syn := microprobe.NewSynthesizer(microprobe.Options{LoopSize: opts.LoopSize, Seed: opts.Seed})
 	synthEval := func(plat platform.Platform) sched.EvalFunc {
+		if ce, ok := plat.(ConfigEvaluator); ok {
+			return func(cfg knobs.Config) (metrics.Vector, error) {
+				return ce.EvaluateConfig(string(kind), cfg, syn, evalOpts)
+			}
+		}
 		return func(cfg knobs.Config) (metrics.Vector, error) {
 			p, err := syn.Synthesize(string(kind), cfg)
 			if err != nil {
@@ -216,6 +267,12 @@ func Run(ctx context.Context, kind Kind, opts Options) (Report, error) {
 			plat, err := opts.NewPlatform()
 			if err != nil {
 				return nil, err
+			}
+			// Worker platforms must take the same evaluation path as the
+			// primary, or parallel runs would diverge from serial ones.
+			if _, ok := plat.(ConfigEvaluator); ok != coRunPlat {
+				return nil, fmt.Errorf("stress: NewPlatform returned %s, which does not match the primary platform %s",
+					plat.Name(), opts.Platform.Name())
 			}
 			return synthEval(plat), nil
 		})
@@ -278,6 +335,13 @@ func Run(ctx context.Context, kind Kind, opts Options) (Report, error) {
 	if bl, ok := res.Best.ValueByName(knobs.NameBurstLen); ok {
 		rep.BurstLen = int(bl)
 	}
+	for core := 0; ; core++ {
+		off, ok := res.Best.ValueByName(knobs.PhaseOffsetName(core))
+		if !ok {
+			break
+		}
+		rep.PhaseOffsets = append(rep.PhaseOffsets, int(off))
+	}
 	for _, er := range res.Epochs {
 		rep.Progression = append(rep.Progression, EpochPoint{
 			Epoch:       er.Epoch,
@@ -288,11 +352,20 @@ func Run(ctx context.Context, kind Kind, opts Options) (Report, error) {
 	return rep, nil
 }
 
+// ConfigEvaluator is implemented by platforms that derive their own kernels
+// from a knob configuration instead of evaluating one pre-synthesized
+// program — the multi-core co-run platform, which builds one phase-rotated
+// kernel per core from the shared configuration.
+type ConfigEvaluator interface {
+	EvaluateConfig(name string, cfg knobs.Config, syn *microprobe.Synthesizer, opts platform.EvalOptions) (metrics.Vector, error)
+}
+
 // powerDerived reports whether a metric is produced by the power model (and
 // therefore needs CollectPower evaluations).
 func powerDerived(metric string) bool {
 	switch metric {
-	case metrics.DynamicPowerW, metrics.WorstDroopMV, metrics.MaxDIDTWPerCycle, metrics.TempC:
+	case metrics.DynamicPowerW, metrics.WorstDroopMV, metrics.MaxDIDTWPerCycle, metrics.TempC,
+		metrics.ChipPowerW, metrics.ChipWorstDroopMV, metrics.ChipTempC:
 		return true
 	}
 	return false
@@ -307,13 +380,20 @@ func lossToValue(loss float64, maximize bool) float64 {
 }
 
 // mixFromMetrics extracts the dynamic instruction-class distribution from a
-// metric vector.
+// metric vector. All six classes — including NOP, which dominates the idle
+// phases of duty-cycled kernels — are reported, so the fractions sum to 1.
+// Chip-level vectors carry no per-class fractions; the mix is nil for them
+// rather than a misleading all-zero distribution.
 func mixFromMetrics(v metrics.Vector) map[isa.Class]float64 {
+	if _, ok := v[metrics.FracInteger]; !ok {
+		return nil
+	}
 	return map[isa.Class]float64{
 		isa.ClassInteger: v[metrics.FracInteger],
 		isa.ClassFloat:   v[metrics.FracFloat],
 		isa.ClassBranch:  v[metrics.FracBranch],
 		isa.ClassLoad:    v[metrics.FracLoad],
 		isa.ClassStore:   v[metrics.FracStore],
+		isa.ClassNop:     v[metrics.FracNop],
 	}
 }

@@ -32,7 +32,9 @@ run "mgbench tableII"     "$bin_dir/mgbench" -experiment tableII
 run "mgbench fig5 quick"  "$bin_dir/mgbench" -experiment fig5 -quick -instructions 3000 -seed 1
 run "mgbench voltage-noise-virus" "$bin_dir/mgbench" -kind voltage-noise-virus -quick -core small -instructions 3000 -trace "$bin_dir/trace.csv"
 run "mgbench thermal-virus"       "$bin_dir/mgbench" -kind thermal-virus -quick -core small -instructions 3000
+run "mgbench corun-noise-virus"   "$bin_dir/mgbench" -kind corun-noise-virus -quick -core small -cores 2 -instructions 3000 -trace "$bin_dir/chip_trace.csv"
 test -s "$bin_dir/trace.csv" || { echo "FAIL: trace dump is empty" >&2; exit 1; }
+test -s "$bin_dir/chip_trace.csv" || { echo "FAIL: chip trace dump is empty" >&2; exit 1; }
 
 run "mgworkload list"     "$bin_dir/mgworkload" -list
 run "mgworkload measure"  "$bin_dir/mgworkload" -benchmark mcf -instructions 5000
