@@ -37,6 +37,7 @@ vet:
 fuzz:
 	$(GO) test -fuzz=FuzzEmit -fuzztime=10s -run='^$$' ./internal/program
 	$(GO) test -fuzz=FuzzParse -fuzztime=10s -run='^$$' ./internal/config
+	$(GO) test -fuzz=FuzzSumTraces -fuzztime=10s -run='^$$' ./internal/powersim
 
 cover:
 	$(GO) test -coverprofile=coverage.out ./...

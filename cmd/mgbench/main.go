@@ -6,17 +6,20 @@
 //	mgbench -experiment fig2 -csv out/ # also dump CSV data for plotting
 //
 // Experiments: tableI, tableII, fig2, fig3, fig4, fig5, fig6, tableIII,
-// stresscmp, corun, summary, all.
+// stresscmp, corun, dvfs, summary, all.
 //
 // Alternatively -kind runs a single stress test of any built-in kind
 // (perf-virus, power-virus, voltage-noise-virus, thermal-virus,
-// corun-noise-virus) on the core selected with -core, and -trace dumps the
-// tuned kernel's windowed power trace as CSV. The corun kind and experiment
-// co-run -cores copies of the core on a shared power-delivery network and
-// tune the chip-level droop:
+// corun-noise-virus, dvfs-noise-virus) on the core selected with -core, and
+// -trace dumps the tuned kernel's windowed power trace as CSV. The corun
+// kind and experiment co-run -cores copies of the core on a shared
+// power-delivery network and tune the chip-level droop; the dvfs kind and
+// experiment additionally tune per-core clocks, warm-started from -freqs,
+// and compare against the homogeneous fixed-clock baseline:
 //
 //	mgbench -kind voltage-noise-virus -quick -core small -trace trace.csv
 //	mgbench -kind corun-noise-virus -quick -core small -cores 2
+//	mgbench -experiment dvfs -quick -core small -freqs 2.0,1.2
 package main
 
 import (
@@ -24,9 +27,11 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"path/filepath"
 	"runtime"
+	"strconv"
 	"strings"
 	"time"
 
@@ -47,7 +52,7 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("mgbench", flag.ContinueOnError)
 	var (
-		experiment = fs.String("experiment", "all", "experiment to run: tableI, tableII, fig2, fig3, fig4, fig5, fig6, tableIII, stresscmp, corun, summary, all")
+		experiment = fs.String("experiment", "all", "experiment to run: tableI, tableII, fig2, fig3, fig4, fig5, fig6, tableIII, stresscmp, corun, dvfs, summary, all")
 		quick      = fs.Bool("quick", false, "use the reduced quick budget (3 benchmarks, short simulations)")
 		csvDir     = fs.String("csv", "", "directory to write CSV data files into (empty = don't write)")
 		dynInstr   = fs.Int("instructions", 0, "override dynamic instructions per evaluation")
@@ -55,9 +60,10 @@ func run(args []string, out io.Writer) error {
 		seed       = fs.Int64("seed", 0, "override random seed")
 		benchList  = fs.String("benchmarks", "", "comma-separated benchmark subset (default: all eight)")
 		parallel   = fs.Int("parallel", runtime.GOMAXPROCS(0), "worker count of the parallel evaluation engine (1 = serial; results are identical at any count)")
-		kind       = fs.String("kind", "", "run a single stress test of this kind instead of an experiment: perf-virus, power-virus, voltage-noise-virus, thermal-virus, corun-noise-virus")
-		coreName   = fs.String("core", "large", "core the -kind stress test and the corun experiment run on: small or large")
-		cores      = fs.Int("cores", 2, "number of co-running cores of the corun experiment and the corun-noise-virus kind")
+		kind       = fs.String("kind", "", "run a single stress test of this kind instead of an experiment: perf-virus, power-virus, voltage-noise-virus, thermal-virus, corun-noise-virus, dvfs-noise-virus")
+		coreName   = fs.String("core", "large", "core the -kind stress test and the corun/dvfs experiments run on: small or large")
+		cores      = fs.Int("cores", 2, "number of co-running cores of the corun/dvfs experiments and kinds")
+		freqList   = fs.String("freqs", "", "comma-separated per-core warm-start clocks in GHz for the dvfs experiment and the dvfs-noise-virus kind (e.g. 2.0,1.2; sets the core count, empty = start from the knob-space midpoint)")
 		tracePath  = fs.String("trace", "", "file to write the -kind kernel's windowed power trace into (CSV; empty = don't write)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -84,14 +90,42 @@ func run(args []string, out io.Writer) error {
 		budget.Parallel = *parallel
 	}
 
+	freqs, err := parseFreqs(*freqList)
+	if err != nil {
+		return err
+	}
+	if freqs != nil {
+		*cores = len(freqs)
+	}
+
 	ctx := context.Background()
-	runner := &suite{out: out, csvDir: *csvDir, budget: budget, core: strings.ToLower(*coreName), cores: *cores}
+	runner := &suite{out: out, csvDir: *csvDir, budget: budget, core: strings.ToLower(*coreName), cores: *cores, freqs: freqs}
 	// -kind and -core are normalized like -experiment, so "Voltage-Noise-Virus"
 	// or "SMALL" work the same as their lower-case spellings.
 	if *kind != "" {
 		return runner.runKind(ctx, strings.ToLower(*kind), *tracePath)
 	}
 	return runner.run(ctx, strings.ToLower(*experiment))
+}
+
+// parseFreqs parses the -freqs list ("2.0,1.2") into per-core GHz values.
+func parseFreqs(list string) ([]float64, error) {
+	if list == "" {
+		return nil, nil
+	}
+	parts := strings.Split(list, ",")
+	freqs := make([]float64, len(parts))
+	for i, p := range parts {
+		f, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad -freqs entry %q: %w", p, err)
+		}
+		if !(f > 0) || math.IsInf(f, 0) { // !(f>0) also catches NaN
+			return nil, fmt.Errorf("-freqs entry %q must be a positive finite clock in GHz", p)
+		}
+		freqs[i] = f
+	}
+	return freqs, nil
 }
 
 // runKind runs one stress test of the given kind and optionally dumps the
@@ -107,14 +141,22 @@ func (s *suite) runKind(ctx context.Context, kindName, tracePath string) error {
 		rep   stress.Report
 		trace powersim.PowerTrace
 	)
-	if kind == stress.CoRunNoiseVirus {
+	switch kind {
+	case stress.CoRunNoiseVirus:
 		run, err := experiments.RunCoRunKind(ctx, s.core, s.cores, s.budget)
 		if err != nil {
 			return err
 		}
 		rep, trace = run.Report, run.Trace
 		fmt.Fprintln(s.out, run.Render())
-	} else {
+	case stress.DVFSNoiseVirus:
+		run, err := experiments.RunDVFSKind(ctx, s.core, s.cores, s.freqs, s.budget)
+		if err != nil {
+			return err
+		}
+		rep, trace = run.Report, run.Trace
+		fmt.Fprintln(s.out, run.Render())
+	default:
 		run, err := experiments.RunStressKind(ctx, kind, s.core, s.budget)
 		if err != nil {
 			return err
@@ -155,6 +197,7 @@ type suite struct {
 	budget experiments.Budget
 	core   string
 	cores  int
+	freqs  []float64
 
 	fig2 *experiments.CloningResult
 	fig4 *experiments.CloningResult
@@ -165,7 +208,7 @@ type suite struct {
 func (s *suite) run(ctx context.Context, which string) error {
 	order := []string{which}
 	if which == "all" {
-		order = []string{"tablei", "tableii", "fig2", "fig3", "fig4", "fig5", "fig6", "tableiii", "stresscmp", "corun", "summary"}
+		order = []string{"tablei", "tableii", "fig2", "fig3", "fig4", "fig5", "fig6", "tableiii", "stresscmp", "corun", "dvfs", "summary"}
 	}
 	for _, exp := range order {
 		start := time.Now()
@@ -249,6 +292,17 @@ func (s *suite) runOne(ctx context.Context, which string) error {
 		fmt.Fprintln(s.out, res.Render())
 		if s.csvDir != "" {
 			return writeCSVFile(filepath.Join(s.csvDir, "corun.csv"), func(w io.Writer) error {
+				return report.SeriesCSV(w, res.Series()...)
+			})
+		}
+	case "dvfs":
+		res, err := experiments.RunDVFS(ctx, s.core, s.cores, s.freqs, s.budget)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(s.out, res.Render())
+		if s.csvDir != "" {
+			return writeCSVFile(filepath.Join(s.csvDir, "dvfs.csv"), func(w io.Writer) error {
 				return report.SeriesCSV(w, res.Series()...)
 			})
 		}

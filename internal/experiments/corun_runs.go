@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"strings"
 
+	"micrograd/internal/knobs"
 	"micrograd/internal/metrics"
 	"micrograd/internal/microprobe"
 	"micrograd/internal/multicore"
@@ -63,29 +64,11 @@ func runCoRun(ctx context.Context, coreName string, cores int, b Budget, withBas
 	}
 	spec := multicore.Homogeneous(core, cores)
 
-	// The tuning runs (co-run, plus the baseline when requested) execute
-	// concurrently; each fans candidates out over its share of the worker
-	// budget, and the co-run additionally simulates its cores in parallel
-	// (candidate workers × cores stays near the inner budget).
 	nRuns := 1
 	if withBaseline {
 		nRuns = 2
 	}
-	outer := sched.Workers(b.Parallel, nRuns)
-	inner := b.Parallel / outer
-	if inner < 1 {
-		inner = 1
-	}
-	candWorkers := inner / cores
-	if candWorkers < 1 {
-		candWorkers = 1
-	}
-	// Per-core simulation concurrency inside one evaluation never exceeds the
-	// inner budget (with -parallel 1 the whole run stays serial).
-	corePar := cores
-	if corePar > inner {
-		corePar = inner
-	}
+	outer, inner, candWorkers, corePar := coRunBudgetSplit(b.Parallel, nRuns, cores)
 	var corun, baseline stress.Report
 	runs := []func(ctx context.Context) error{
 		func(ctx context.Context) error {
@@ -137,21 +120,9 @@ func runCoRun(ctx context.Context, coreName string, cores int, b Budget, withBas
 		return CoRunResult{}, err
 	}
 
-	// Characterize the winning co-run on a fresh platform: full chip metric
-	// vector plus the summed chip trace.
-	measure, err := multicore.New(spec, corePar)
+	full, trace, err := characterizeCoRun(spec, corePar, stress.CoRunNoiseVirus, corun.Config, b)
 	if err != nil {
 		return CoRunResult{}, err
-	}
-	syn := microprobe.NewSynthesizer(microprobe.Options{LoopSize: b.LoopSize, Seed: b.Seed})
-	progs, err := measure.SynthesizeCoRun(string(stress.CoRunNoiseVirus), corun.Config, syn)
-	if err != nil {
-		return CoRunResult{}, err
-	}
-	evalOpts := platform.EvalOptions{DynamicInstructions: b.DynamicInstructions, Seed: b.Seed, CollectPower: true}
-	full, trace, err := measure.EvaluateCoRunDetailed(progs, evalOpts)
-	if err != nil {
-		return CoRunResult{}, fmt.Errorf("experiments: characterizing co-run: %w", err)
 	}
 	return CoRunResult{
 		Core:     core.Kind,
@@ -161,6 +132,51 @@ func runCoRun(ctx context.Context, coreName string, cores int, b Budget, withBas
 		Full:     full,
 		Trace:    trace,
 	}, nil
+}
+
+// coRunBudgetSplit divides the engine's worker budget across a chip-level
+// stress experiment's fan-out levels: nRuns concurrent tuning runs (outer),
+// per-epoch candidate evaluations within each run (candWorkers), and
+// per-core simulation inside each evaluation (corePar). Candidate workers ×
+// cores stays near the inner budget instead of multiplying to Parallel²,
+// and with -parallel 1 the whole run stays serial.
+func coRunBudgetSplit(parallel, nRuns, cores int) (outer, inner, candWorkers, corePar int) {
+	outer = sched.Workers(parallel, nRuns)
+	inner = parallel / outer
+	if inner < 1 {
+		inner = 1
+	}
+	candWorkers = inner / cores
+	if candWorkers < 1 {
+		candWorkers = 1
+	}
+	corePar = cores
+	if corePar > inner {
+		corePar = inner
+	}
+	return outer, inner, candWorkers, corePar
+}
+
+// characterizeCoRun re-evaluates a tuned chip configuration on a fresh
+// co-run platform — per-core kernels synthesized from the config, FREQ_GHZ
+// clock overrides applied when the space tunes them — and returns the full
+// chip metric vector plus the summed chip trace.
+func characterizeCoRun(spec multicore.CoRunSpec, corePar int, kind stress.Kind, cfg knobs.Config, b Budget) (metrics.Vector, powersim.PowerTrace, error) {
+	measure, err := multicore.New(spec, corePar)
+	if err != nil {
+		return nil, powersim.PowerTrace{}, err
+	}
+	syn := microprobe.NewSynthesizer(microprobe.Options{LoopSize: b.LoopSize, Seed: b.Seed})
+	progs, err := measure.SynthesizeCoRun(string(kind), cfg, syn)
+	if err != nil {
+		return nil, powersim.PowerTrace{}, err
+	}
+	evalOpts := platform.EvalOptions{DynamicInstructions: b.DynamicInstructions, Seed: b.Seed, CollectPower: true}
+	full, trace, err := measure.EvaluateCoRunDetailedAt(progs, multicore.FreqOverrides(cfg, len(spec.Cores)), evalOpts)
+	if err != nil {
+		return nil, powersim.PowerTrace{}, fmt.Errorf("experiments: characterizing %s: %w", kind, err)
+	}
+	return full, trace, nil
 }
 
 // Series returns the progression series (co-run chip droop, plus the

@@ -240,9 +240,11 @@ func (c Config) Settings() Settings {
 			s.DutyCycle = v
 		case KindBurstLen:
 			s.BurstLen = int(v)
-		case KindPhaseOffset:
-			// Per-core knobs: the co-run platform reads PHASE_OFFSET_<i> by
-			// name and sets PhaseOffset on each core's copy of the settings.
+		case KindPhaseOffset, KindFreqGHz:
+			// Per-core knobs: the co-run platform reads PHASE_OFFSET_<i> /
+			// FREQ_GHZ_<i> by name — the former sets PhaseOffset on each
+			// core's copy of the settings, the latter overrides the core's
+			// clock at evaluation time and never reaches the synthesizer.
 		}
 	}
 	if !hasInstr {

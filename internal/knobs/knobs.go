@@ -31,6 +31,7 @@ const (
 	KindDutyCycle                 // fraction of each activity burst that executes real work
 	KindBurstLen                  // activity burst period in static instructions
 	KindPhaseOffset               // rotation of the kernel's burst schedule in static instructions
+	KindFreqGHz                   // one co-running core's clock frequency in GHz (DVFS)
 	numKinds
 )
 
@@ -57,6 +58,8 @@ func (k Kind) String() string {
 		return "burst-len"
 	case KindPhaseOffset:
 		return "phase-offset"
+	case KindFreqGHz:
+		return "freq-ghz"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -149,6 +152,11 @@ var (
 	// largest BURST_LEN period so any inter-core phase relationship is
 	// reachable.
 	phaseOffsetValues = []float64{0, 32, 64, 96, 128, 160, 192, 224, 256, 288, 320, 352} // instructions
+	// Frequency values span the DVFS operating points of the built-in 2 GHz
+	// cores: deep-throttle bins for big.LITTLE pairings up to a 2.4 GHz
+	// boost bin, so a tuner can trade per-core power against time-domain
+	// burst alignment.
+	freqGHzValues = []float64{1.2, 1.4, 1.6, 1.8, 2.0, 2.2, 2.4} // GHz
 )
 
 // Canonical knob names.
@@ -164,12 +172,21 @@ const (
 	// NamePhaseOffset is the prefix of the per-core phase knobs of a co-run
 	// space; the knob for core i is PhaseOffsetName(i).
 	NamePhaseOffset = "PHASE_OFFSET"
+	// NameFreqGHz is the prefix of the per-core clock knobs of a DVFS co-run
+	// space; the knob for core i is FreqGHzName(i).
+	NameFreqGHz = "FREQ_GHZ"
 )
 
 // PhaseOffsetName returns the name of the phase-offset knob of one co-running
 // core ("PHASE_OFFSET_0", "PHASE_OFFSET_1", ...).
 func PhaseOffsetName(core int) string {
 	return fmt.Sprintf("%s_%d", NamePhaseOffset, core)
+}
+
+// FreqGHzName returns the name of the clock-frequency knob of one co-running
+// core ("FREQ_GHZ_0", "FREQ_GHZ_1", ...).
+func FreqGHzName(core int) string {
+	return fmt.Sprintf("%s_%d", NameFreqGHz, core)
 }
 
 // instrKnobName maps a knob opcode to its Listing-1 knob name.

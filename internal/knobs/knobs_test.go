@@ -381,3 +381,49 @@ func TestKindString(t *testing.T) {
 		}
 	}
 }
+
+func TestDVFSStressSpace(t *testing.T) {
+	s := DVFSStressSpace(2)
+	// co-run space (13 + 2 phase knobs) + one FREQ_GHZ per core.
+	if s.Len() != 17 {
+		t.Fatalf("DVFSStressSpace(2) has %d knobs, want 17", s.Len())
+	}
+	for core := 0; core < 2; core++ {
+		i, ok := s.IndexOf(FreqGHzName(core))
+		if !ok {
+			t.Fatalf("missing %s", FreqGHzName(core))
+		}
+		if d := s.Def(i); d.Kind != KindFreqGHz {
+			t.Errorf("%s has kind %v, want freq-ghz", d.Name, d.Kind)
+		}
+		if _, ok := s.IndexOf(PhaseOffsetName(core)); !ok {
+			t.Fatalf("missing %s", PhaseOffsetName(core))
+		}
+	}
+	if _, ok := s.IndexOf(FreqGHzName(2)); ok {
+		t.Error("space should not have a third clock knob")
+	}
+	// Clock knobs must reach both the 2.0/1.2 big.LITTLE operating points and
+	// a boost bin above the 2 GHz base clock.
+	i, _ := s.IndexOf(FreqGHzName(0))
+	d := s.Def(i)
+	if got := d.Value(d.NearestIndex(1.2)); got != 1.2 {
+		t.Errorf("nearest clock to 1.2 GHz is %g", got)
+	}
+	if got := d.Value(d.NearestIndex(2.0)); got != 2.0 {
+		t.Errorf("nearest clock to 2.0 GHz is %g", got)
+	}
+	if max := d.Value(d.NumValues() - 1); max <= 2.0 {
+		t.Errorf("largest clock bin %g GHz should boost past the 2 GHz base", max)
+	}
+
+	// Clock knobs are per-core: Settings() ignores them (the co-run platform
+	// overrides clocks at evaluation time), and the settings stay valid.
+	set := s.MidConfig().Settings()
+	if err := set.Validate(); err != nil {
+		t.Errorf("mid settings invalid: %v", err)
+	}
+	if got := KindFreqGHz.String(); got != "freq-ghz" {
+		t.Errorf("kind renders as %q", got)
+	}
+}

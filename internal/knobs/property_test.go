@@ -113,6 +113,8 @@ func TestPropertySpaceOperationsStayValid(t *testing.T) {
 		"instruction-only": InstructionOnlySpace(),
 		"stress":           StressSpace(),
 		"transient-stress": TransientStressSpace(),
+		"corun-stress":     CoRunStressSpace(2),
+		"dvfs-stress":      DVFSStressSpace(2),
 	}
 	const iterations = 10000
 	for name, s := range spaces {

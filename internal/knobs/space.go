@@ -86,6 +86,19 @@ func TransientStressSpace() *Space {
 	return MustSpace(transientDefs())
 }
 
+// coRunDefs returns the knob definitions of the co-run stress space: the
+// transient defs (one shared kernel) plus a PHASE_OFFSET knob per core.
+func coRunDefs(cores int) []Def {
+	if cores < 1 {
+		cores = 1
+	}
+	defs := transientDefs()
+	for i := 0; i < cores; i++ {
+		defs = append(defs, Def{Name: PhaseOffsetName(i), Kind: KindPhaseOffset, Values: append([]float64(nil), phaseOffsetValues...)})
+	}
+	return defs
+}
+
 // CoRunStressSpace returns the space used for chip-level co-run stress
 // testing on n cores: the transient stress space (one shared kernel) extended
 // with a PHASE_OFFSET knob per core, which rotates that core's burst
@@ -93,12 +106,22 @@ func TransientStressSpace() *Space {
 // inter-core burst phase alignment — the degree of freedom that excites a
 // shared power-delivery network hardest.
 func CoRunStressSpace(cores int) *Space {
+	return MustSpace(coRunDefs(cores))
+}
+
+// DVFSStressSpace returns the space used for heterogeneous-frequency chip
+// stress testing on n cores: the co-run stress space extended with a
+// FREQ_GHZ knob per core. The evaluation platform realizes a FREQ_GHZ value
+// by overriding that core's clock for the evaluation, so the tuner searches
+// kernel shape, burst phase and per-core DVFS operating points jointly —
+// the big.LITTLE scenario space a one-clock-domain chip cannot express.
+func DVFSStressSpace(cores int) *Space {
 	if cores < 1 {
 		cores = 1
 	}
-	defs := transientDefs()
+	defs := coRunDefs(cores)
 	for i := 0; i < cores; i++ {
-		defs = append(defs, Def{Name: PhaseOffsetName(i), Kind: KindPhaseOffset, Values: append([]float64(nil), phaseOffsetValues...)})
+		defs = append(defs, Def{Name: FreqGHzName(i), Kind: KindFreqGHz, Values: append([]float64(nil), freqGHzValues...)})
 	}
 	return MustSpace(defs)
 }

@@ -41,6 +41,9 @@ const (
 	ChipPowerW       = "chip_power_w"        // chip-level average dynamic power
 	ChipWorstDroopMV = "chip_worst_droop_mv" // worst-case droop of the shared PDN
 	ChipTempC        = "chip_temp_c"         // hotspot temperature of the shared die
+	// FreqGHz is the clock a core ran at; the co-run platform reports it per
+	// core (coreN_freq_ghz) so DVFS evaluations record their operating points.
+	FreqGHz = "freq_ghz"
 )
 
 // CloningMetricNames returns the metric set the cloning use case targets by

@@ -8,12 +8,19 @@
 // chip-level phenomena: co-running kernels that phase-align their activity
 // bursts excite the shared PDN far harder than any single core can, which is
 // exactly the degree of freedom the corun-noise-virus stress kind tunes.
+//
+// Cores need not share a clock domain: heterogeneous-frequency chips
+// (big.LITTLE pairings, per-core DVFS overrides from the FREQ_GHZ knobs)
+// are aggregated on a nanosecond grid via powersim.SumTracesTime, while
+// one-clock chips keep the exact cycle-grid fast path.
 package multicore
 
 import (
 	"context"
 	"fmt"
+	"math"
 	"strings"
+	"sync/atomic"
 
 	"micrograd/internal/knobs"
 	"micrograd/internal/metrics"
@@ -30,8 +37,9 @@ import (
 // CoreSpec still produce that core's own transient metrics; the shared
 // models here see the summed trace.
 type CoRunSpec struct {
-	// Cores are the co-running core configurations. All cores must run at
-	// one clock frequency and record activity windows (WindowCycles > 0).
+	// Cores are the co-running core configurations. Every core must record
+	// activity windows (WindowCycles > 0); clock frequencies only need to be
+	// positive and may differ per core.
 	Cores []platform.CoreSpec
 	// Supply is the shared power-delivery network.
 	Supply powersim.SupplyModel
@@ -52,6 +60,36 @@ func Homogeneous(core platform.CoreSpec, n int) CoRunSpec {
 	return spec
 }
 
+// WithFrequencies returns a copy of the spec with core i's clock set to
+// freqsGHz[i] (zero keeps that core's spec clock) — the static way to build
+// a heterogeneous-frequency (big.LITTLE-style) chip, next to the dynamic
+// per-evaluation FREQ_GHZ knob overrides.
+func (s CoRunSpec) WithFrequencies(freqsGHz []float64) (CoRunSpec, error) {
+	if len(freqsGHz) != len(s.Cores) {
+		return CoRunSpec{}, fmt.Errorf("multicore: %d clock overrides for %d cores", len(freqsGHz), len(s.Cores))
+	}
+	out := s
+	out.Cores = append([]platform.CoreSpec(nil), s.Cores...)
+	for i, f := range freqsGHz {
+		if err := validFreqOverride(f, i); err != nil {
+			return CoRunSpec{}, err
+		}
+		if f > 0 {
+			out.Cores[i].CPU.FrequencyGHz = f
+		}
+	}
+	return out, nil
+}
+
+// validFreqOverride rejects clock overrides that are not zero (keep the
+// spec clock) or a positive finite frequency.
+func validFreqOverride(f float64, core int) error {
+	if f != 0 && (!(f > 0) || math.IsInf(f, 0)) { // !(f>0) also catches NaN
+		return fmt.Errorf("multicore: bad clock override %g GHz for core %d (want 0 or positive and finite)", f, core)
+	}
+	return nil
+}
+
 // Validate checks the spec.
 func (s CoRunSpec) Validate() error {
 	if len(s.Cores) == 0 {
@@ -63,10 +101,6 @@ func (s CoRunSpec) Validate() error {
 		}
 		if c.CPU.WindowCycles <= 0 {
 			return fmt.Errorf("multicore: core %d records no activity windows (WindowCycles = %d)", i, c.CPU.WindowCycles)
-		}
-		if c.CPU.FrequencyGHz != s.Cores[0].CPU.FrequencyGHz {
-			return fmt.Errorf("multicore: core %d runs at %g GHz, core 0 at %g GHz (one clock domain required)",
-				i, c.CPU.FrequencyGHz, s.Cores[0].CPU.FrequencyGHz)
 		}
 	}
 	if s.OffsetCycles != nil && len(s.OffsetCycles) != len(s.Cores) {
@@ -103,8 +137,10 @@ type CoRunPlatform struct {
 	spec     CoRunSpec
 	sims     []*platform.SimPlatform
 	parallel int
-	// evaluations counts chip-level Evaluate calls.
-	evaluations uint64
+	// evaluations counts chip-level Evaluate calls. It is atomic so
+	// Evaluations() stays race-free when tuners fan candidates out over
+	// per-worker co-run platforms while an observer polls the counters.
+	evaluations atomic.Uint64
 }
 
 // New builds a co-run platform. parallel bounds how many cores simulate
@@ -144,7 +180,7 @@ func (c *CoRunPlatform) Spec() CoRunSpec { return c.spec }
 func (c *CoRunPlatform) NumCores() int { return len(c.sims) }
 
 // Evaluations returns the number of chip-level evaluations served so far.
-func (c *CoRunPlatform) Evaluations() uint64 { return c.evaluations }
+func (c *CoRunPlatform) Evaluations() uint64 { return c.evaluations.Load() }
 
 // Evaluate implements platform.Platform: every core co-runs the same kernel.
 func (c *CoRunPlatform) Evaluate(p *program.Program, opts platform.EvalOptions) (metrics.Vector, error) {
@@ -158,7 +194,7 @@ func (c *CoRunPlatform) Evaluate(p *program.Program, opts platform.EvalOptions) 
 // EvaluateCoRun simulates one kernel per core and returns the chip-level
 // metric vector.
 func (c *CoRunPlatform) EvaluateCoRun(progs []*program.Program, opts platform.EvalOptions) (metrics.Vector, error) {
-	v, _, err := c.evaluateDetailed(progs, opts)
+	v, _, err := c.evaluateDetailed(progs, nil, opts)
 	return v, err
 }
 
@@ -166,19 +202,47 @@ func (c *CoRunPlatform) EvaluateCoRun(progs []*program.Program, opts platform.Ev
 // trace (untrimmed), for reporting tools and cmd/mgbench's -trace dump — one
 // simulation pass yields both.
 func (c *CoRunPlatform) EvaluateCoRunDetailed(progs []*program.Program, opts platform.EvalOptions) (metrics.Vector, powersim.PowerTrace, error) {
-	return c.evaluateDetailed(progs, opts)
+	return c.evaluateDetailed(progs, nil, opts)
+}
+
+// EvaluateCoRunDetailedAt is EvaluateCoRunDetailed with per-core clock
+// overrides: core i runs at freqsGHz[i] GHz instead of its spec clock (zero
+// keeps the spec clock, nil overrides nothing). Heterogeneous effective
+// clocks switch the chip aggregation onto the nanosecond grid.
+func (c *CoRunPlatform) EvaluateCoRunDetailedAt(progs []*program.Program, freqsGHz []float64, opts platform.EvalOptions) (metrics.Vector, powersim.PowerTrace, error) {
+	return c.evaluateDetailed(progs, freqsGHz, opts)
 }
 
 // EvaluateConfig implements the stress package's ConfigEvaluator: the shared
-// kernel knobs of cfg shape every core's kernel, and core i's burst schedule
-// is rotated by its PHASE_OFFSET_<i> knob (when present). The synthesizer is
-// pure per call, so this composes with candidate-level fan-out.
+// kernel knobs of cfg shape every core's kernel, core i's burst schedule is
+// rotated by its PHASE_OFFSET_<i> knob, and its clock overridden by its
+// FREQ_GHZ_<i> knob (when present). The synthesizer is pure per call, so
+// this composes with candidate-level fan-out.
 func (c *CoRunPlatform) EvaluateConfig(name string, cfg knobs.Config, syn *microprobe.Synthesizer, opts platform.EvalOptions) (metrics.Vector, error) {
 	progs, err := c.SynthesizeCoRun(name, cfg, syn)
 	if err != nil {
 		return nil, err
 	}
-	return c.EvaluateCoRun(progs, opts)
+	v, _, err := c.evaluateDetailed(progs, FreqOverrides(cfg, len(c.sims)), opts)
+	return v, err
+}
+
+// FreqOverrides extracts the per-core FREQ_GHZ knob values of a co-run
+// configuration as clock overrides. It returns nil when the space tunes no
+// frequencies; cores whose knob is absent keep a zero (no-override) entry.
+func FreqOverrides(cfg knobs.Config, cores int) []float64 {
+	var freqs []float64
+	for i := 0; i < cores; i++ {
+		f, ok := cfg.ValueByName(knobs.FreqGHzName(i))
+		if !ok {
+			continue
+		}
+		if freqs == nil {
+			freqs = make([]float64, cores)
+		}
+		freqs[i] = f
+	}
+	return freqs
 }
 
 // SynthesizeCoRun generates the per-core kernels of a knob configuration:
@@ -204,34 +268,47 @@ func (c *CoRunPlatform) SynthesizeCoRun(name string, cfg knobs.Config, syn *micr
 type coreRun struct {
 	vector metrics.Vector
 	trace  powersim.PowerTrace
+	// freqGHz is the effective clock the core ran at (spec or override).
+	freqGHz float64
 }
 
 // evaluateDetailed fans the per-core simulations out (bit-identical to the
 // serial loop: each core owns its platform and results fold in core order),
-// sums the aligned traces and derives the chip metrics.
-func (c *CoRunPlatform) evaluateDetailed(progs []*program.Program, opts platform.EvalOptions) (metrics.Vector, powersim.PowerTrace, error) {
+// sums the aligned traces and derives the chip metrics. freqsGHz optionally
+// overrides per-core clocks (zero entries keep the spec clock).
+func (c *CoRunPlatform) evaluateDetailed(progs []*program.Program, freqsGHz []float64, opts platform.EvalOptions) (metrics.Vector, powersim.PowerTrace, error) {
 	if len(progs) != len(c.sims) {
 		return nil, powersim.PowerTrace{}, fmt.Errorf("multicore: %d kernels for %d cores", len(progs), len(c.sims))
+	}
+	if freqsGHz != nil && len(freqsGHz) != len(c.sims) {
+		return nil, powersim.PowerTrace{}, fmt.Errorf("multicore: %d clock overrides for %d cores", len(freqsGHz), len(c.sims))
+	}
+	for i, f := range freqsGHz {
+		if err := validFreqOverride(f, i); err != nil {
+			return nil, powersim.PowerTrace{}, err
+		}
 	}
 	opts.CollectPower = true // chip metrics need every core's trace
 	runs, err := sched.Map(context.Background(), c.parallel, c.sims,
 		func(_ context.Context, i int, sim *platform.SimPlatform) (coreRun, error) {
-			v, res, err := sim.EvaluateDetailed(progs[i], opts)
+			coreOpts := opts
+			freq := c.spec.Cores[i].CPU.FrequencyGHz
+			if freqsGHz != nil && freqsGHz[i] > 0 {
+				freq = freqsGHz[i]
+				coreOpts.FrequencyGHz = freq
+			}
+			v, res, err := sim.EvaluateDetailed(progs[i], coreOpts)
 			if err != nil {
 				return coreRun{}, fmt.Errorf("multicore: core %d: %w", i, err)
 			}
-			return coreRun{vector: v, trace: sim.PowerTrace(res)}, nil
+			return coreRun{vector: v, trace: sim.PowerTrace(res), freqGHz: freq}, nil
 		})
 	if err != nil {
 		return nil, powersim.PowerTrace{}, err
 	}
-	c.evaluations++
+	c.evaluations.Add(1)
 
-	traces := make([]powersim.PowerTrace, len(runs))
-	for i, r := range runs {
-		traces[i] = r.trace
-	}
-	chip, err := powersim.SumTraces(c.spec.windowCycles(), c.spec.OffsetCycles, traces...)
+	chip, err := c.sumTraces(runs)
 	if err != nil {
 		return nil, powersim.PowerTrace{}, fmt.Errorf("multicore: summing traces: %w", err)
 	}
@@ -241,12 +318,46 @@ func (c *CoRunPlatform) evaluateDetailed(progs []*program.Program, opts platform
 		v[coreMetric(i, metrics.IPC)] = r.vector[metrics.IPC]
 		v[coreMetric(i, metrics.DynamicPowerW)] = r.vector[metrics.DynamicPowerW]
 		v[coreMetric(i, metrics.WorstDroopMV)] = r.vector[metrics.WorstDroopMV]
+		v[coreMetric(i, metrics.FreqGHz)] = r.freqGHz
 	}
 	v[metrics.ChipPowerW] = chip.AvgPowerW()
 	steady := chip.TrimWarmupCapped(platform.TraceWarmupWindows)
 	v[metrics.ChipWorstDroopMV] = c.spec.Supply.WorstDroopMV(steady)
 	v[metrics.ChipTempC] = c.spec.Thermal.SteadyTempC(steady)
 	return v, chip, nil
+}
+
+// sumTraces aggregates the per-core traces into the chip waveform. One
+// shared effective clock keeps the exact cycle-grid fast path; mixed clocks
+// go through the nanosecond grid, with the grid window sized to the longest
+// per-core window duration so no core's trace is artificially sharpened and
+// the cycle-domain start skews converted through each core's own clock.
+func (c *CoRunPlatform) sumTraces(runs []coreRun) (powersim.PowerTrace, error) {
+	traces := make([]powersim.PowerTrace, len(runs))
+	homogeneous := true
+	for i, r := range runs {
+		traces[i] = r.trace
+		if r.freqGHz != runs[0].freqGHz {
+			homogeneous = false
+		}
+	}
+	if homogeneous {
+		return powersim.SumTraces(c.spec.windowCycles(), c.spec.OffsetCycles, traces...)
+	}
+	windowNS := 0.0
+	for i, r := range runs {
+		if w := float64(c.spec.Cores[i].CPU.WindowCycles) / r.freqGHz; w > windowNS {
+			windowNS = w
+		}
+	}
+	var offsetsNS []float64
+	if c.spec.OffsetCycles != nil {
+		offsetsNS = make([]float64, len(runs))
+		for i, r := range runs {
+			offsetsNS[i] = float64(c.spec.OffsetCycles[i]) / r.freqGHz
+		}
+	}
+	return powersim.SumTracesTime(windowNS, offsetsNS, traces...)
 }
 
 // coreMetric names core i's copy of a per-core metric ("core0_ipc", ...).

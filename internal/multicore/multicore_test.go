@@ -41,11 +41,17 @@ func TestCoRunSpecValidation(t *testing.T) {
 	if err := spec.Validate(); err == nil {
 		t.Error("offset/core count mismatch should be rejected")
 	}
+	// Mixed clock domains are legal (big.LITTLE / DVFS co-runs); only
+	// non-positive clocks are rejected, via the per-core CPU validation.
 	mixed := CoRunSpec{Cores: []platform.CoreSpec{platform.Small(), platform.Large()},
 		Supply: platform.Small().Supply, Thermal: platform.Small().Thermal}
 	mixed.Cores[1].CPU.FrequencyGHz = 3
+	if err := mixed.Validate(); err != nil {
+		t.Errorf("mixed clock domains should validate: %v", err)
+	}
+	mixed.Cores[1].CPU.FrequencyGHz = 0
 	if err := mixed.Validate(); err == nil {
-		t.Error("mixed clock domains should be rejected")
+		t.Error("non-positive clock should be rejected")
 	}
 	noWin := Homogeneous(platform.Small(), 2)
 	noWin.Cores[0].CPU.WindowCycles = 0
@@ -194,5 +200,159 @@ func TestHomogeneousBuildsNCores(t *testing.T) {
 		if _, err := New(spec, n); err != nil {
 			t.Errorf("building %d-core platform: %v", n, err)
 		}
+	}
+}
+
+func TestWithFrequencies(t *testing.T) {
+	spec := Homogeneous(platform.Small(), 2)
+	het, err := spec.WithFrequencies([]float64{0, 1.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := het.Cores[0].CPU.FrequencyGHz; got != 2 {
+		t.Errorf("zero override changed core 0's clock to %g", got)
+	}
+	if got := het.Cores[1].CPU.FrequencyGHz; got != 1.2 {
+		t.Errorf("core 1 clock %g, want 1.2", got)
+	}
+	if got := spec.Cores[1].CPU.FrequencyGHz; got != 2 {
+		t.Errorf("WithFrequencies mutated the original spec (core 1 at %g)", got)
+	}
+	if _, err := spec.WithFrequencies([]float64{2}); err == nil {
+		t.Error("override/core count mismatch should be rejected")
+	}
+	if _, err := spec.WithFrequencies([]float64{2, -1}); err == nil {
+		t.Error("negative clock override should be rejected")
+	}
+}
+
+// TestHeterogeneousFrequencyChipEnergyReconciles is the mixed-clock energy
+// pin: a 2.0+1.2 GHz chip must aggregate on the nanosecond grid, and the
+// chip trace's total energy must equal the sum of the cores' own trace
+// energies to 1e-9 — time-domain summation conserves what the cores
+// dissipated.
+func TestHeterogeneousFrequencyChipEnergyReconciles(t *testing.T) {
+	spec, err := Homogeneous(platform.Small(), 2).WithFrequencies([]float64{2.0, 1.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(spec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := testKernel(t)
+	opts := platform.EvalOptions{DynamicInstructions: 6000, Seed: 1}
+	v, chip, err := c.EvaluateCoRunDetailed([]*program.Program{p, p}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !chip.TimeDomain() {
+		t.Fatal("mixed-clock chip trace should be time-domain")
+	}
+	// Per-core reference energies: the same kernel on standalone platforms
+	// with the same per-core clocks (window energy is clock-agnostic).
+	var want float64
+	for _, coreSpec := range spec.Cores {
+		sim, err := platform.NewSimPlatform(coreSpec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		simOpts := opts
+		simOpts.CollectPower = true
+		_, res, err := sim.EvaluateDetailed(p, simOpts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want += sim.PowerTrace(res).TotalEnergyPJ()
+	}
+	got := chip.TotalEnergyPJ()
+	if diff := got - want; diff > 1e-9*want || diff < -1e-9*want {
+		t.Errorf("chip trace energy %v pJ, want %v pJ (conservation to 1e-9)", got, want)
+	}
+	for _, name := range []string{metrics.ChipPowerW, metrics.ChipWorstDroopMV, metrics.ChipTempC} {
+		if v[name] <= 0 {
+			t.Errorf("chip metric %s = %v, want positive", name, v[name])
+		}
+	}
+	if v["core0_freq_ghz"] != 2.0 || v["core1_freq_ghz"] != 1.2 {
+		t.Errorf("per-core clocks reported as %v/%v, want 2/1.2", v["core0_freq_ghz"], v["core1_freq_ghz"])
+	}
+}
+
+// TestEvaluateCoRunDetailedAtOverridesClocks pins the DVFS override path:
+// the same kernels on the same homogeneous platform, re-clocked per call.
+func TestEvaluateCoRunDetailedAtOverridesClocks(t *testing.T) {
+	c := twoSmall(t, 1)
+	p := testKernel(t)
+	progs := []*program.Program{p, p}
+	opts := platform.EvalOptions{DynamicInstructions: 6000, Seed: 1}
+	base, chipBase, err := c.EvaluateCoRunDetailedAt(progs, nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chipBase.TimeDomain() {
+		t.Error("homogeneous chip should keep the cycle-grid trace")
+	}
+	het, chipHet, err := c.EvaluateCoRunDetailedAt(progs, []float64{2.0, 1.2}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !chipHet.TimeDomain() {
+		t.Error("overridden mixed clocks should aggregate in the time domain")
+	}
+	// Throttling core 1 to 1.2 GHz stretches its trace in time and lowers
+	// its average power; the chip average must drop with it.
+	if het[metrics.ChipPowerW] >= base[metrics.ChipPowerW] {
+		t.Errorf("throttled chip power %v should be below homogeneous %v",
+			het[metrics.ChipPowerW], base[metrics.ChipPowerW])
+	}
+	if het["core1_freq_ghz"] != 1.2 || het["core0_freq_ghz"] != 2.0 {
+		t.Errorf("override clocks reported as %v/%v", het["core0_freq_ghz"], het["core1_freq_ghz"])
+	}
+	// A uniform override stays on the cycle grid at the new clock.
+	boost, chipBoost, err := c.EvaluateCoRunDetailedAt(progs, []float64{2.4, 2.4}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chipBoost.TimeDomain() {
+		t.Error("uniformly overridden clocks should keep the cycle grid")
+	}
+	if boost[metrics.ChipPowerW] <= base[metrics.ChipPowerW] {
+		t.Errorf("boosted chip power %v should exceed base %v", boost[metrics.ChipPowerW], base[metrics.ChipPowerW])
+	}
+	if _, _, err := c.EvaluateCoRunDetailedAt(progs, []float64{2.0}, opts); err == nil {
+		t.Error("override/core count mismatch should be rejected")
+	}
+	if _, _, err := c.EvaluateCoRunDetailedAt(progs, []float64{2.0, -1}, opts); err == nil {
+		t.Error("negative clock override should be rejected")
+	}
+}
+
+// TestEvaluationsCounterIsAtomic reads the evaluation counter from other
+// goroutines while the platform evaluates — the counter must be race-free
+// even though the platform itself is single-owner (run under -race in CI).
+func TestEvaluationsCounterIsAtomic(t *testing.T) {
+	c := twoSmall(t, 2)
+	p := testKernel(t)
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				c.Evaluations()
+			}
+		}
+	}()
+	opts := platform.EvalOptions{DynamicInstructions: 3000, Seed: 1}
+	for i := 0; i < 3; i++ {
+		if _, err := c.Evaluate(p, opts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(done)
+	if got := c.Evaluations(); got != 3 {
+		t.Errorf("evaluation count %d, want 3", got)
 	}
 }

@@ -158,6 +158,12 @@ type EvalOptions struct {
 	// CollectPower adds the dynamic power metric to the result (requires a
 	// platform with a power model).
 	CollectPower bool
+	// FrequencyGHz overrides the core clock for this evaluation (DVFS); zero
+	// keeps the spec's clock. The cycle-level simulation is unaffected —
+	// cache and memory latencies are fixed in core cycles — so the override
+	// rescales the cycle results onto a different time base, which is what
+	// changes power, droop and temperature.
+	FrequencyGHz float64
 }
 
 // normalized fills in defaults.
@@ -227,17 +233,8 @@ func (s *SimPlatform) Evaluations() uint64 { return s.evaluations }
 
 // Evaluate implements Platform.
 func (s *SimPlatform) Evaluate(p *program.Program, opts EvalOptions) (metrics.Vector, error) {
-	opts = opts.normalized()
-	res, err := s.cpu.Run(p, opts.DynamicInstructions, opts.Seed)
-	if err != nil {
-		return nil, err
-	}
-	s.evaluations++
-	v := ResultVector(res)
-	if opts.CollectPower {
-		s.addPowerMetrics(v, res)
-	}
-	return v, nil
+	v, _, err := s.EvaluateDetailed(p, opts)
+	return v, err
 }
 
 // TraceWarmupWindows is the number of leading activity windows the transient
@@ -274,6 +271,12 @@ func (s *SimPlatform) EvaluateDetailed(p *program.Program, opts EvalOptions) (me
 	res, err := s.cpu.Run(p, opts.DynamicInstructions, opts.Seed)
 	if err != nil {
 		return nil, cpusim.Result{}, err
+	}
+	if opts.FrequencyGHz > 0 {
+		// The cycle-level result is clock-agnostic; relabelling its time
+		// base is all a DVFS override needs. Everything downstream (power
+		// conversion, trace, droop, temperature) reads the result's clock.
+		res.Config.FrequencyGHz = opts.FrequencyGHz
 	}
 	s.evaluations++
 	v := ResultVector(res)

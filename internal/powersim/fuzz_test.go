@@ -1,0 +1,56 @@
+package powersim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// FuzzSumTraces drives the time-domain aggregator with randomized trace
+// shapes — window lengths, point counts, clock frequencies and start skews
+// derived deterministically from the fuzzed seed — and asserts that total
+// energy is conserved to 1e-9, the invariant the chip-level supply and
+// thermal analyses depend on.
+func FuzzSumTraces(f *testing.F) {
+	f.Add(int64(1), uint8(2), 32.0)
+	f.Add(int64(7), uint8(4), 53.5)
+	f.Add(int64(42), uint8(1), 5.0)
+	f.Add(int64(-9), uint8(255), 999.25)
+	f.Fuzz(func(t *testing.T, seed int64, nTraces uint8, windowNS float64) {
+		if !(windowNS > 1e-3) || windowNS > 1e6 {
+			t.Skip("window length out of the supported range")
+		}
+		n := int(nTraces%6) + 1
+		rng := rand.New(rand.NewSource(seed))
+		traces := make([]PowerTrace, n)
+		offsets := make([]float64, n)
+		var want float64
+		for i := range traces {
+			freq := 0.4 + 4*rng.Float64() // 0.4–4.4 GHz
+			tr := PowerTrace{WindowCycles: 1 + rng.Intn(256), FrequencyGHz: freq}
+			for j, points := 0, rng.Intn(40); j < points; j++ {
+				cycles := uint64(1 + rng.Intn(tr.WindowCycles))
+				e := rng.Float64() * 1000
+				p := TracePoint{Cycles: cycles, EnergyPJ: e}
+				p.PowerW = e / float64(cycles) * freq / 1000
+				tr.Points = append(tr.Points, p)
+				want += e
+			}
+			offsets[i] = rng.Float64() * 500
+			traces[i] = tr
+		}
+		sum, err := SumTracesTime(windowNS, offsets, traces...)
+		if err != nil {
+			t.Fatalf("SumTracesTime: %v", err)
+		}
+		got := sum.TotalEnergyPJ()
+		if diff := math.Abs(got - want); diff > 1e-9*math.Max(1, want) {
+			t.Errorf("energy not conserved: got %v pJ, want %v pJ (diff %g)", got, want, diff)
+		}
+		for i := range sum.Points {
+			if d := sum.Points[i].DurationNS; d < 0 || d > windowNS*(1+1e-12) {
+				t.Errorf("window %d spans %v ns, outside [0, %v]", i, d, windowNS)
+			}
+		}
+	})
+}

@@ -13,6 +13,7 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 
 	"micrograd/internal/cpusim"
@@ -21,8 +22,13 @@ import (
 
 // TracePoint is the power draw of one activity window.
 type TracePoint struct {
-	// Cycles is the window length (the final window may be shorter).
+	// Cycles is the window length (the final window may be shorter). Zero on
+	// time-domain windows, whose span is DurationNS.
 	Cycles uint64
+	// DurationNS is the window's time span in nanoseconds. It is set on
+	// time-domain traces (SumTracesTime output); cycle-domain windows leave
+	// it zero and derive their span from Cycles and the trace clock.
+	DurationNS float64
 	// EnergyPJ is the dynamic energy dissipated in the window.
 	EnergyPJ float64
 	// PowerW is the window's average dynamic power.
@@ -31,12 +37,53 @@ type TracePoint struct {
 
 // PowerTrace is the windowed dynamic power waveform of one run.
 type PowerTrace struct {
-	// WindowCycles is the nominal window length the trace was recorded at.
+	// WindowCycles is the nominal window length the trace was recorded at
+	// (zero for time-domain traces).
 	WindowCycles int
-	// FrequencyGHz is the core clock, for cycle→time conversion.
+	// FrequencyGHz is the core clock, for cycle→time conversion. Zero on
+	// time-domain traces, which have no single clock.
 	FrequencyGHz float64
+	// WindowNS is the nominal grid window length in nanoseconds of a
+	// time-domain trace (SumTracesTime output). Zero on cycle-domain traces.
+	WindowNS float64
 	// Points are the per-window samples, in time order.
 	Points []TracePoint
+}
+
+// TimeDomain reports whether the trace lives on a nanosecond grid rather
+// than a cycle grid. Time-domain traces arise from summing cores on
+// different clocks; their timing is carried per point in DurationNS.
+func (t PowerTrace) TimeDomain() bool { return t.WindowNS > 0 }
+
+// PointDurationNS returns point i's time span in nanoseconds: the explicit
+// DurationNS of a time-domain window, or Cycles converted through the trace
+// clock. It returns 0 when the trace has neither (no clock, no duration).
+func (t PowerTrace) PointDurationNS(i int) float64 {
+	if d := t.Points[i].DurationNS; d > 0 {
+		return d
+	}
+	if t.FrequencyGHz <= 0 {
+		return 0
+	}
+	return float64(t.Points[i].Cycles) / t.FrequencyGHz
+}
+
+// DurationNS returns the trace's total time span in nanoseconds.
+func (t PowerTrace) DurationNS() float64 {
+	total := 0.0
+	for i := range t.Points {
+		total += t.PointDurationNS(i)
+	}
+	return total
+}
+
+// TotalEnergyPJ returns the trace's total dissipated energy.
+func (t PowerTrace) TotalEnergyPJ() float64 {
+	total := 0.0
+	for _, p := range t.Points {
+		total += p.EnergyPJ
+	}
+	return total
 }
 
 // Trace converts a run's window activity into a power trace. The result is
@@ -103,8 +150,19 @@ func (t PowerTrace) TrimWarmupCapped(n int) PowerTrace {
 	return t.TrimWarmup(n)
 }
 
-// AvgPowerW returns the trace's cycle-weighted average power.
+// AvgPowerW returns the trace's time-weighted average power.
 func (t PowerTrace) AvgPowerW() float64 {
+	if t.TimeDomain() {
+		var energy, ns float64
+		for i, p := range t.Points {
+			energy += p.EnergyPJ
+			ns += t.PointDurationNS(i)
+		}
+		if ns == 0 {
+			return 0
+		}
+		return energy / ns / 1000 // pJ/ns = mW
+	}
 	var energy, cycles float64
 	for _, p := range t.Points {
 		energy += p.EnergyPJ
@@ -132,7 +190,8 @@ func (t PowerTrace) MaxPowerW() float64 {
 // length, in watts per cycle. Partial windows (the tail of a run) are
 // excluded — their short averaging interval would otherwise inflate the
 // metric by up to the window length depending on where the run happens to
-// end.
+// end. The metric is cycle-domain by definition; time-domain traces have no
+// cycle to normalize by and report 0.
 func (t PowerTrace) MaxStepWPerCycle() float64 {
 	max := 0.0
 	nominal := uint64(t.WindowCycles)
@@ -187,11 +246,24 @@ func SumTraces(windowCycles int, offsets []uint64, traces ...PowerTrace) (PowerT
 	if offsets != nil && len(offsets) != len(traces) {
 		return PowerTrace{}, fmt.Errorf("powersim: %d offsets for %d traces", len(offsets), len(traces))
 	}
+	// The clock domain is set by the first trace that actually has samples;
+	// empty traces carry no timing and are exempt from the frequency check.
 	freq := traces[0].FrequencyGHz
+	for _, tr := range traces {
+		if !tr.Empty() {
+			freq = tr.FrequencyGHz
+			break
+		}
+	}
 	var end uint64
 	for i, tr := range traces {
+		if tr.Empty() {
+			// An empty trace has no span: its skew must not stretch the grid
+			// with zero-power windows that would dilute the chip averages.
+			continue
+		}
 		if tr.FrequencyGHz != freq {
-			return PowerTrace{}, fmt.Errorf("powersim: trace %d runs at %g GHz, trace 0 at %g GHz", i, tr.FrequencyGHz, freq)
+			return PowerTrace{}, fmt.Errorf("powersim: trace %d runs at %g GHz, want %g GHz (use SumTracesTime for mixed clocks)", i, tr.FrequencyGHz, freq)
 		}
 		var cycles uint64
 		for _, p := range tr.Points {
@@ -248,6 +320,117 @@ func SumTraces(windowCycles int, offsets []uint64, traces ...PowerTrace) (PowerT
 	return out, nil
 }
 
+// SumTracesTime aligns several power traces onto one common grid of
+// windowNS-long windows in the time domain — converting each trace's cycle
+// spans to nanoseconds through its own FrequencyGHz, shifting trace i right
+// by offsetsNS[i] nanoseconds (nil means no skew) — and sums them into a
+// single chip-level trace. Unlike SumTraces the inputs may run on different
+// clocks; this is the aggregation step behind heterogeneous-frequency
+// (big.LITTLE / DVFS) co-runs. Empty traces contribute nothing, skew
+// included.
+//
+// Energy is conserved: each point's energy is spread uniformly over its
+// time span, and a span's per-window overlaps are computed as differences
+// of shared clamped boundaries, so they telescope to exactly the span.
+// Summation order is fixed (trace order, then window order), so the result
+// is bit-deterministic.
+//
+// The result is a time-domain trace: WindowNS is set, every point carries
+// its DurationNS, and Cycles/WindowCycles/FrequencyGHz are zero (there is
+// no single clock to count in).
+func SumTracesTime(windowNS float64, offsetsNS []float64, traces ...PowerTrace) (PowerTrace, error) {
+	if !(windowNS > 0) || math.IsInf(windowNS, 0) {
+		return PowerTrace{}, fmt.Errorf("powersim: non-positive time-sum window length %g ns", windowNS)
+	}
+	if len(traces) == 0 {
+		return PowerTrace{}, fmt.Errorf("powersim: no traces to sum")
+	}
+	if offsetsNS != nil && len(offsetsNS) != len(traces) {
+		return PowerTrace{}, fmt.Errorf("powersim: %d offsets for %d traces", len(offsetsNS), len(traces))
+	}
+	// The end of the chip waveform, accumulated per trace in exactly the
+	// order the spreading pass below walks it so the two agree bit-for-bit.
+	var end float64
+	for i, tr := range traces {
+		if tr.Empty() {
+			continue
+		}
+		span := 0.0
+		if offsetsNS != nil {
+			off := offsetsNS[i]
+			if off < 0 || math.IsInf(off, 0) || math.IsNaN(off) {
+				return PowerTrace{}, fmt.Errorf("powersim: bad time offset %g ns for trace %d", off, i)
+			}
+			span = off
+		}
+		for j, p := range tr.Points {
+			d := tr.PointDurationNS(j)
+			if d == 0 && p.Cycles > 0 {
+				return PowerTrace{}, fmt.Errorf("powersim: trace %d has cycle windows but no clock frequency", i)
+			}
+			span += d
+		}
+		if span > end {
+			end = span
+		}
+	}
+	out := PowerTrace{WindowNS: windowNS}
+	if end == 0 {
+		return out, nil
+	}
+	nWin := int(math.Ceil(end / windowNS))
+	energy := make([]float64, nWin)
+	for i, tr := range traces {
+		if tr.Empty() {
+			continue
+		}
+		cursor := 0.0
+		if offsetsNS != nil {
+			cursor = offsetsNS[i]
+		}
+		for j, p := range tr.Points {
+			d := tr.PointDurationNS(j)
+			start := cursor
+			cursor += d
+			if d == 0 || p.EnergyPJ == 0 {
+				continue
+			}
+			perNS := p.EnergyPJ / d
+			first := int(start / windowNS)
+			last := int(cursor / windowNS)
+			for w := first; w <= last && w < nWin; w++ {
+				lo := float64(w) * windowNS
+				if lo < start {
+					lo = start
+				}
+				hi := float64(w+1) * windowNS
+				if hi > cursor {
+					hi = cursor
+				}
+				if hi > lo {
+					energy[w] += perNS * (hi - lo)
+				}
+			}
+		}
+	}
+	out.Points = make([]TracePoint, nWin)
+	for w := range energy {
+		d := windowNS
+		if tail := end - float64(w)*windowNS; tail < d {
+			d = tail
+		}
+		if d < 0 { // ceil rounding can manufacture an empty trailing window
+			d = 0
+		}
+		pt := TracePoint{DurationNS: d, EnergyPJ: energy[w]}
+		if d > 0 {
+			pt.PowerW = pt.EnergyPJ / d / 1000 // pJ/ns = mW
+		}
+		out.Points[w] = pt
+	}
+	return out, nil
+}
+
 // WriteCSV dumps the trace as "window,cycles,time_ns,energy_pj,power_w"
 // rows, the format cmd/mgbench's -trace flag produces.
 func (t PowerTrace) WriteCSV(w io.Writer) error {
@@ -257,9 +440,7 @@ func (t PowerTrace) WriteCSV(w io.Writer) error {
 	}
 	timeNS := 0.0
 	for i, p := range t.Points {
-		if t.FrequencyGHz > 0 {
-			timeNS += float64(p.Cycles) / t.FrequencyGHz
-		}
+		timeNS += t.PointDurationNS(i)
 		rec := []string{
 			strconv.Itoa(i),
 			strconv.FormatUint(p.Cycles, 10),
@@ -336,37 +517,50 @@ func (s SupplyModel) Validate() error {
 // trace's average current, so a perfectly constant load shows only its IR
 // drop while an oscillating load adds the resonant ripple on top.
 func (s SupplyModel) WorstDroopMV(t PowerTrace) float64 {
-	if t.Empty() || t.FrequencyGHz <= 0 {
+	if t.Empty() || (!t.TimeDomain() && t.FrequencyGHz <= 0) {
 		return 0
 	}
-	// Load current per window, I = P/Vdd.
+	// Load current per window (I = P/Vdd) and integration step per window.
+	// Cycle-domain traces keep the historical cycle arithmetic bit-for-bit;
+	// time-domain traces (mixed-frequency chip aggregates) carry their
+	// timing per point.
 	load := make([]float64, len(t.Points))
+	dt := make([]float64, len(t.Points))
 	avg := 0.0
-	var cycles float64
-	for i, p := range t.Points {
-		load[i] = p.PowerW / s.VddV
-		avg += load[i] * float64(p.Cycles)
-		cycles += float64(p.Cycles)
+	var weight float64
+	if t.TimeDomain() {
+		for i, p := range t.Points {
+			load[i] = p.PowerW / s.VddV
+			dt[i] = t.PointDurationNS(i) * 1e-9
+			avg += load[i] * dt[i]
+			weight += dt[i]
+		}
+	} else {
+		cycleS := 1 / (t.FrequencyGHz * 1e9)
+		for i, p := range t.Points {
+			load[i] = p.PowerW / s.VddV
+			dt[i] = float64(p.Cycles) * cycleS
+			avg += load[i] * float64(p.Cycles)
+			weight += float64(p.Cycles)
+		}
 	}
-	if cycles == 0 {
+	if weight == 0 {
 		return 0
 	}
-	avg /= cycles
+	avg /= weight
 
 	// Warm start at the average-current operating point.
 	i := avg
 	v := s.VddV - avg*s.ResistanceOhm
 	vMin := v
 
-	cycleS := 1 / (t.FrequencyGHz * 1e9)
 	for pass := 0; pass < s.Passes; pass++ {
-		for n, p := range t.Points {
-			dt := float64(p.Cycles) * cycleS
-			if dt == 0 {
+		for n := range t.Points {
+			if dt[n] == 0 {
 				continue
 			}
-			steps := int(dt/s.MaxStepS) + 1
-			h := dt / float64(steps)
+			steps := int(dt[n]/s.MaxStepS) + 1
+			h := dt[n] / float64(steps)
 			for k := 0; k < steps; k++ {
 				// Semi-implicit Euler keeps the underdamped system stable.
 				i += h * (s.VddV - v - s.ResistanceOhm*i) / s.InductanceH
@@ -395,13 +589,17 @@ type ThermalModel struct {
 	// Passes is how many times the trace is replayed when integrating the
 	// transient on top of the steady-state starting point.
 	Passes int
+	// MaxStepS caps the integration step; windows longer than this are
+	// subdivided to keep the forward-Euler discretization stable (a single
+	// step with dt > Rth·Cth overshoots the RC response and oscillates).
+	MaxStepS float64
 }
 
 // DefaultThermalModel returns the thermal model used by the built-in cores:
 // 45 °C reference, 28 °C/W hotspot resistance, 2 mJ/°C capacitance
-// (τ ≈ 56 ms).
+// (τ ≈ 56 ms), integration steps capped at 1 ms (τ/56).
 func DefaultThermalModel() ThermalModel {
-	return ThermalModel{AmbientC: 45, RthCPerW: 28, CthJPerC: 2e-3, Passes: 4}
+	return ThermalModel{AmbientC: 45, RthCPerW: 28, CthJPerC: 2e-3, Passes: 4, MaxStepS: 1e-3}
 }
 
 // Validate checks the thermal model parameters.
@@ -412,26 +610,45 @@ func (m ThermalModel) Validate() error {
 	if m.Passes < 1 {
 		return fmt.Errorf("powersim: thermal model needs at least one pass")
 	}
+	if m.MaxStepS <= 0 {
+		return fmt.Errorf("powersim: thermal model needs a positive integration step cap")
+	}
 	return nil
 }
 
 // SteadyTempC returns the steady-state hotspot temperature in °C reached
 // when the trace repeats indefinitely: the RC response is integrated from
 // the average-power operating point and the peak temperature reported.
+// Windows longer than MaxStepS are subdivided like the supply model's, so a
+// pathologically long window cannot overshoot the RC response and report a
+// bogus peak.
 func (m ThermalModel) SteadyTempC(t PowerTrace) float64 {
-	if t.Empty() || t.FrequencyGHz <= 0 {
+	if t.Empty() || (!t.TimeDomain() && t.FrequencyGHz <= 0) {
 		return m.AmbientC
 	}
 	avg := t.AvgPowerW()
 	temp := m.AmbientC + m.RthCPerW*avg
 	tMax := temp
-	cycleS := 1 / (t.FrequencyGHz * 1e9)
+	cycleS := 0.0
+	if t.FrequencyGHz > 0 {
+		cycleS = 1 / (t.FrequencyGHz * 1e9)
+	}
 	for pass := 0; pass < m.Passes; pass++ {
-		for _, p := range t.Points {
+		for n, p := range t.Points {
 			dt := float64(p.Cycles) * cycleS
-			temp += dt * (p.PowerW - (temp-m.AmbientC)/m.RthCPerW) / m.CthJPerC
-			if temp > tMax {
-				tMax = temp
+			if t.TimeDomain() {
+				dt = t.PointDurationNS(n) * 1e-9
+			}
+			if dt == 0 {
+				continue
+			}
+			steps := int(dt/m.MaxStepS) + 1
+			h := dt / float64(steps)
+			for k := 0; k < steps; k++ {
+				temp += h * (p.PowerW - (temp-m.AmbientC)/m.RthCPerW) / m.CthJPerC
+				if temp > tMax {
+					tMax = temp
+				}
 			}
 		}
 	}

@@ -1,0 +1,113 @@
+package stress
+
+import (
+	"context"
+	"testing"
+
+	"micrograd/internal/knobs"
+	"micrograd/internal/metrics"
+	"micrograd/internal/multicore"
+	"micrograd/internal/platform"
+)
+
+// dvfsInitial returns the DVFS space's midpoint warm-started at the given
+// per-core clocks — what experiments.RunDVFS builds from mgbench -freqs.
+func dvfsInitial(t *testing.T, freqsGHz []float64) knobs.Config {
+	t.Helper()
+	space := knobs.DVFSStressSpace(len(freqsGHz))
+	cfg := space.MidConfig()
+	for i, f := range freqsGHz {
+		idx, ok := space.IndexOf(knobs.FreqGHzName(i))
+		if !ok {
+			t.Fatalf("missing %s", knobs.FreqGHzName(i))
+		}
+		cfg = cfg.WithIndex(idx, space.Def(idx).NearestIndex(f))
+	}
+	return cfg
+}
+
+func TestDVFSKindByName(t *testing.T) {
+	got, err := KindByName(string(DVFSNoiseVirus))
+	if err != nil || got != DVFSNoiseVirus {
+		t.Errorf("KindByName(dvfs-noise-virus) = %v, %v", got, err)
+	}
+	for _, k := range Kinds() {
+		if k == DVFSNoiseVirus {
+			t.Error("DVFSNoiseVirus must not appear in the single-platform kind list")
+		}
+	}
+}
+
+// TestDVFSNoiseVirusBeatsHomogeneousCoRun is the headline DVFS property:
+// with per-core clocks in the knob space — warm-started from the
+// heterogeneous 2.0+1.2 GHz operating point — the tuned chip droop must
+// strictly exceed the homogeneous fixed-clock corun-noise-virus baseline,
+// because the tuner can trade per-core power against burst alignment in the
+// time domain (and boost past the 2 GHz base bin).
+func TestDVFSNoiseVirusBeatsHomogeneousCoRun(t *testing.T) {
+	ctx := context.Background()
+	corun, err := Run(ctx, CoRunNoiseVirus, corunOptions(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := corunOptions(t)
+	opts.Initial = dvfsInitial(t, []float64{2.0, 1.2})
+	dvfs, err := Run(ctx, DVFSNoiseVirus, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dvfs.Metric != metrics.ChipWorstDroopMV || !dvfs.Maximize {
+		t.Errorf("dvfs virus should maximize %s, got %s maximize=%v",
+			metrics.ChipWorstDroopMV, dvfs.Metric, dvfs.Maximize)
+	}
+	if dvfs.BestValue <= corun.BestValue {
+		t.Errorf("tuned DVFS chip droop %.2f mV should strictly exceed the homogeneous co-run baseline %.2f mV",
+			dvfs.BestValue, corun.BestValue)
+	}
+	if len(dvfs.FreqsGHz) != 2 {
+		t.Fatalf("report carries %d per-core clocks, want 2", len(dvfs.FreqsGHz))
+	}
+	for i, f := range dvfs.FreqsGHz {
+		if f <= 0 {
+			t.Errorf("tuned clock %d is %g GHz, want positive", i, f)
+		}
+	}
+	if len(corun.FreqsGHz) != 0 {
+		t.Errorf("fixed-clock corun report should carry no tuned clocks, has %v", corun.FreqsGHz)
+	}
+}
+
+func TestDVFSRequiresCoRunPlatform(t *testing.T) {
+	opts := smallOptions(t) // plain single-core SimPlatform
+	if _, err := Run(context.Background(), DVFSNoiseVirus, opts); err == nil {
+		t.Error("dvfs-noise-virus on a single-core platform should be rejected, not tune into -Inf")
+	}
+}
+
+// TestDVFSParallelMatchesSerial extends the serial≡parallel determinism
+// guarantee to the DVFS kind: clock-override evaluations must fold
+// identically at any fan-out.
+func TestDVFSParallelMatchesSerial(t *testing.T) {
+	serialOpts := corunOptions(t)
+	serialOpts.MaxEpochs = 6
+	serial, err := Run(context.Background(), DVFSNoiseVirus, serialOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parOpts := corunOptions(t)
+	parOpts.MaxEpochs = 6
+	parOpts.Parallel = 4
+	parOpts.NewPlatform = func() (platform.Platform, error) {
+		return multicore.New(multicore.Homogeneous(platform.Small(), 2), 2)
+	}
+	par, err := Run(context.Background(), DVFSNoiseVirus, parOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.BestValue != par.BestValue {
+		t.Errorf("parallel best %v differs from serial %v", par.BestValue, serial.BestValue)
+	}
+	if serial.Config.Key() != par.Config.Key() {
+		t.Errorf("parallel config %s differs from serial %s", par.Config, serial.Config)
+	}
+}

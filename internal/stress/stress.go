@@ -41,24 +41,36 @@ const (
 	// per-core PHASE_OFFSET. It requires a co-run platform
 	// (internal/multicore.CoRunPlatform).
 	CoRunNoiseVirus Kind = "corun-noise-virus"
+	// DVFSNoiseVirus extends the co-run noise virus with per-core DVFS: each
+	// core's clock is a FREQ_GHZ_<i> knob the tuner sets alongside kernel
+	// shape and burst phase, so the search covers heterogeneous
+	// (big.LITTLE-style) frequency mixes whose chip traces are aggregated in
+	// the time domain. It requires a co-run platform.
+	DVFSNoiseVirus Kind = "dvfs-noise-virus"
 )
 
 // Kinds returns every built-in single-platform stress kind (the ones a plain
-// platform.SimPlatform can evaluate). CoRunNoiseVirus is excluded: it needs
-// the multi-core co-run platform.
+// platform.SimPlatform can evaluate). CoRunNoiseVirus and DVFSNoiseVirus are
+// excluded: they need the multi-core co-run platform.
 func Kinds() []Kind {
 	return []Kind{PerfVirus, PowerVirus, VoltageNoiseVirus, ThermalVirus}
 }
 
+// multiCoreKind reports whether a kind needs the multi-core co-run platform.
+func multiCoreKind(k Kind) bool {
+	return k == CoRunNoiseVirus || k == DVFSNoiseVirus
+}
+
 // KindByName resolves a kind name, accepting the built-in kinds plus the
-// multi-core CoRunNoiseVirus.
+// multi-core CoRunNoiseVirus and DVFSNoiseVirus.
 func KindByName(name string) (Kind, error) {
-	for _, k := range append(Kinds(), CoRunNoiseVirus) {
+	all := append(Kinds(), CoRunNoiseVirus, DVFSNoiseVirus)
+	for _, k := range all {
 		if string(k) == name {
 			return k, nil
 		}
 	}
-	return "", fmt.Errorf("stress: unknown kind %q (want one of %v)", name, append(Kinds(), CoRunNoiseVirus))
+	return "", fmt.Errorf("stress: unknown kind %q (want one of %v)", name, all)
 }
 
 // DefaultMaxEpochs bounds stress tuning runs; the paper's stress tests
@@ -121,7 +133,7 @@ func (o Options) goal(kind Kind) (string, bool, error) {
 		return metrics.WorstDroopMV, true, nil
 	case ThermalVirus:
 		return metrics.TempC, true, nil
-	case CoRunNoiseVirus:
+	case CoRunNoiseVirus, DVFSNoiseVirus:
 		return metrics.ChipWorstDroopMV, true, nil
 	default:
 		return "", false, fmt.Errorf("stress: unknown kind %q and no explicit metric", kind)
@@ -138,12 +150,16 @@ func (o Options) normalized(kind Kind) Options {
 			o.Space = knobs.StressSpace()
 		case kind == VoltageNoiseVirus || kind == ThermalVirus:
 			o.Space = knobs.TransientStressSpace()
-		case kind == CoRunNoiseVirus:
+		case multiCoreKind(kind):
 			cores := 2
 			if cr, ok := o.Platform.(interface{ NumCores() int }); ok {
 				cores = cr.NumCores()
 			}
-			o.Space = knobs.CoRunStressSpace(cores)
+			if kind == DVFSNoiseVirus {
+				o.Space = knobs.DVFSStressSpace(cores)
+			} else {
+				o.Space = knobs.CoRunStressSpace(cores)
+			}
 		default:
 			o.Space = knobs.InstructionOnlySpace()
 		}
@@ -193,6 +209,9 @@ type Report struct {
 	// PhaseOffsets are the per-core burst-schedule rotations chosen by a
 	// co-run stress test (nil when the space has no PHASE_OFFSET knobs).
 	PhaseOffsets []int
+	// FreqsGHz are the per-core clocks chosen by a DVFS stress test (nil
+	// when the space has no FREQ_GHZ knobs).
+	FreqsGHz []float64
 	// Config is the best knob configuration.
 	Config knobs.Config
 	// Program is the generated stress kernel.
@@ -231,12 +250,12 @@ func Run(ctx context.Context, kind Kind, opts Options) (Report, error) {
 	// opts out (the caller is stressing a custom metric knowingly).
 	_, coRunPlat := opts.Platform.(ConfigEvaluator)
 	switch {
-	case kind == CoRunNoiseVirus && !coRunPlat:
+	case multiCoreKind(kind) && !coRunPlat:
 		return Report{}, fmt.Errorf("stress: %s requires a co-run platform (got %s, which cannot synthesize per-core kernels)",
 			kind, opts.Platform.Name())
-	case kind != CoRunNoiseVirus && coRunPlat && opts.Metric == "":
-		return Report{}, fmt.Errorf("stress: %s stresses %s, which the co-run platform %s does not produce (use %s, or set Metric explicitly)",
-			kind, metric, opts.Platform.Name(), CoRunNoiseVirus)
+	case !multiCoreKind(kind) && coRunPlat && opts.Metric == "":
+		return Report{}, fmt.Errorf("stress: %s stresses %s, which the co-run platform %s does not produce (use %s or %s, or set Metric explicitly)",
+			kind, metric, opts.Platform.Name(), CoRunNoiseVirus, DVFSNoiseVirus)
 	}
 	evalOpts := opts.EvalOptions
 	if powerDerived(metric) {
@@ -341,6 +360,13 @@ func Run(ctx context.Context, kind Kind, opts Options) (Report, error) {
 			break
 		}
 		rep.PhaseOffsets = append(rep.PhaseOffsets, int(off))
+	}
+	for core := 0; ; core++ {
+		f, ok := res.Best.ValueByName(knobs.FreqGHzName(core))
+		if !ok {
+			break
+		}
+		rep.FreqsGHz = append(rep.FreqsGHz, f)
 	}
 	for _, er := range res.Epochs {
 		rep.Progression = append(rep.Progression, EpochPoint{

@@ -36,6 +36,19 @@ run "mgbench corun-noise-virus"   "$bin_dir/mgbench" -kind corun-noise-virus -qu
 test -s "$bin_dir/trace.csv" || { echo "FAIL: trace dump is empty" >&2; exit 1; }
 test -s "$bin_dir/chip_trace.csv" || { echo "FAIL: chip trace dump is empty" >&2; exit 1; }
 
+# Heterogeneous-frequency co-run: the dvfs experiment must run, and its chip
+# metrics must be identical at any parallelism (the timing line is stripped).
+echo "smoke: mgbench dvfs parallel==serial"
+"$bin_dir/mgbench" -experiment dvfs -quick -core small -cores 2 -freqs 2.0,1.2 -instructions 3000 -parallel 1 \
+    | grep -v 'completed in' > "$bin_dir/dvfs_serial.txt"
+test -s "$bin_dir/dvfs_serial.txt" || { echo "FAIL: dvfs run produced no output" >&2; exit 1; }
+"$bin_dir/mgbench" -experiment dvfs -quick -core small -cores 2 -freqs 2.0,1.2 -instructions 3000 -parallel 4 \
+    | grep -v 'completed in' > "$bin_dir/dvfs_parallel.txt"
+diff "$bin_dir/dvfs_serial.txt" "$bin_dir/dvfs_parallel.txt" || {
+    echo "FAIL: dvfs chip metrics differ between -parallel 1 and -parallel 4" >&2
+    exit 1
+}
+
 run "mgworkload list"     "$bin_dir/mgworkload" -list
 run "mgworkload measure"  "$bin_dir/mgworkload" -benchmark mcf -instructions 5000
 
