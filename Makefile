@@ -33,11 +33,13 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-# Short fuzz smoke runs of every fuzz target (one -fuzz per package).
+# Short fuzz smoke runs of every fuzz target (one -fuzz per invocation; the
+# powersim package has two targets, so their patterns are anchored).
 fuzz:
 	$(GO) test -fuzz=FuzzEmit -fuzztime=10s -run='^$$' ./internal/program
 	$(GO) test -fuzz=FuzzParse -fuzztime=10s -run='^$$' ./internal/config
-	$(GO) test -fuzz=FuzzSumTraces -fuzztime=10s -run='^$$' ./internal/powersim
+	$(GO) test -fuzz='^FuzzSumTraces$$' -fuzztime=10s -run='^$$' ./internal/powersim
+	$(GO) test -fuzz='^FuzzSumTracesOneClockOracle$$' -fuzztime=10s -run='^$$' ./internal/powersim
 
 cover:
 	$(GO) test -coverprofile=coverage.out ./...

@@ -11,7 +11,9 @@
 // Alternatively -kind runs a single stress test of any built-in kind
 // (perf-virus, power-virus, voltage-noise-virus, thermal-virus,
 // corun-noise-virus, dvfs-noise-virus) on the core selected with -core, and
-// -trace dumps the tuned kernel's windowed power trace as CSV. The corun
+// -trace dumps the tuned kernel's windowed power trace as CSV
+// (window,cycles,time_ns,duration_ns,energy_pj,power_w; chip-level traces
+// live on a nanosecond grid, so their rows carry duration_ns with cycles 0). The corun
 // kind and experiment co-run -cores copies of the core on a shared
 // power-delivery network and tune the chip-level droop; the dvfs kind and
 // experiment additionally tune per-core clocks, warm-started from -freqs,

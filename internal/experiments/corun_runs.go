@@ -205,6 +205,7 @@ func (r CoRunResult) Render() string {
 		}
 	}
 	t.AddRow("chip power (W)", fmt.Sprintf("%.3f", r.Full[metrics.ChipPowerW]))
+	t.AddRow("chip max dI/dt (W/ns)", fmt.Sprintf("%.4f", r.Full[metrics.ChipMaxDIDTWPerNS]))
 	t.AddRow("chip hotspot temp (°C)", fmt.Sprintf("%.1f", r.Full[metrics.ChipTempC]))
 	t.AddRow("phase offsets (instrs)", strings.Join(offsets, ", "))
 	t.AddRow("duty cycle / burst len", fmt.Sprintf("%.1f / %d", r.Report.DutyCycle, r.Report.BurstLen))

@@ -21,7 +21,7 @@ func TestRunCoRunBeatsBaselineAndRenders(t *testing.T) {
 		t.Errorf("co-run chip droop %.2f mV should exceed the single-core baseline %.2f mV",
 			res.Report.BestValue, res.Baseline.BestValue)
 	}
-	for _, name := range []string{metrics.ChipPowerW, metrics.ChipWorstDroopMV, metrics.ChipTempC} {
+	for _, name := range []string{metrics.ChipPowerW, metrics.ChipWorstDroopMV, metrics.ChipMaxDIDTWPerNS, metrics.ChipTempC} {
 		if _, ok := res.Full[name]; !ok {
 			t.Errorf("characterization missing %s", name)
 		}
@@ -30,7 +30,7 @@ func TestRunCoRunBeatsBaselineAndRenders(t *testing.T) {
 		t.Error("characterization should include the chip trace")
 	}
 	out := res.Render()
-	for _, want := range []string{"chip worst droop", "single-core baseline", "phase offsets"} {
+	for _, want := range []string{"chip worst droop", "single-core baseline", "phase offsets", "chip max dI/dt"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("rendered result missing %q:\n%s", want, out)
 		}

@@ -24,16 +24,20 @@ func TestRunDVFSBeatsHomogeneousBaselineAndRenders(t *testing.T) {
 	if len(res.Report.FreqsGHz) != 2 {
 		t.Errorf("report carries %d tuned clocks, want 2", len(res.Report.FreqsGHz))
 	}
-	for _, name := range []string{metrics.ChipPowerW, metrics.ChipWorstDroopMV, metrics.ChipTempC} {
+	for _, name := range []string{metrics.ChipPowerW, metrics.ChipWorstDroopMV, metrics.ChipMaxDIDTWPerNS, metrics.ChipTempC} {
 		if _, ok := res.Full[name]; !ok {
 			t.Errorf("characterization missing %s", name)
 		}
+	}
+	if res.Full[metrics.ChipMaxDIDTWPerNS] <= 0 {
+		t.Errorf("heterogeneous chip dI/dt %v should be positive (it used to be silently lost)",
+			res.Full[metrics.ChipMaxDIDTWPerNS])
 	}
 	if res.Trace.Empty() {
 		t.Error("characterization should include the chip trace")
 	}
 	out := res.Render()
-	for _, want := range []string{"chip worst droop", "homogeneous co-run baseline", "tuned per-core clocks", "warm-start clocks"} {
+	for _, want := range []string{"chip worst droop", "homogeneous co-run baseline", "tuned per-core clocks", "warm-start clocks", "chip max dI/dt"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("rendered result missing %q:\n%s", want, out)
 		}

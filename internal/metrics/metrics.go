@@ -36,11 +36,12 @@ const (
 	MaxDIDTWPerCycle = "max_didt_w_per_cyc" // largest window-to-window power step
 	TempC            = "temp_c"             // steady-state hotspot temperature
 	// Chip-level metrics produced by the multi-core co-run platform: the
-	// per-core power traces are summed onto a common window grid and driven
-	// through the shared supply and thermal models.
-	ChipPowerW       = "chip_power_w"        // chip-level average dynamic power
-	ChipWorstDroopMV = "chip_worst_droop_mv" // worst-case droop of the shared PDN
-	ChipTempC        = "chip_temp_c"         // hotspot temperature of the shared die
+	// per-core power traces are summed onto a common nanosecond grid and
+	// driven through the shared supply and thermal models.
+	ChipPowerW        = "chip_power_w"           // chip-level average dynamic power
+	ChipWorstDroopMV  = "chip_worst_droop_mv"    // worst-case droop of the shared PDN
+	ChipMaxDIDTWPerNS = "chip_max_didt_w_per_ns" // largest chip window power step per ns
+	ChipTempC         = "chip_temp_c"            // hotspot temperature of the shared die
 	// FreqGHz is the clock a core ran at; the co-run platform reports it per
 	// core (coreN_freq_ghz) so DVFS evaluations record their operating points.
 	FreqGHz = "freq_ghz"

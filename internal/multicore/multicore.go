@@ -9,10 +9,12 @@
 // bursts excite the shared PDN far harder than any single core can, which is
 // exactly the degree of freedom the corun-noise-virus stress kind tunes.
 //
-// Cores need not share a clock domain: heterogeneous-frequency chips
-// (big.LITTLE pairings, per-core DVFS overrides from the FREQ_GHZ knobs)
-// are aggregated on a nanosecond grid via powersim.SumTracesTime, while
-// one-clock chips keep the exact cycle-grid fast path.
+// Cores need not share a clock domain: every chip — homogeneous or
+// heterogeneous-frequency (big.LITTLE pairings, per-core DVFS overrides from
+// the FREQ_GHZ knobs) — is aggregated on a nanosecond grid via
+// powersim.SumTracesTime, the single aggregation path. One-clock chips
+// reproduce the retired cycle-grid arithmetic to ≤1e-9 (pinned by the
+// powersim oracle fuzz target and the chip-metric equivalence test).
 package multicore
 
 import (
@@ -110,18 +112,6 @@ func (s CoRunSpec) Validate() error {
 		return err
 	}
 	return s.Thermal.Validate()
-}
-
-// windowCycles returns the chip-level trace grid: the largest per-core window
-// so no core's trace is artificially sharpened by resampling.
-func (s CoRunSpec) windowCycles() int {
-	max := 0
-	for _, c := range s.Cores {
-		if c.CPU.WindowCycles > max {
-			max = c.CPU.WindowCycles
-		}
-	}
-	return max
 }
 
 // CoRunPlatform simulates N co-running cores. It implements
@@ -323,29 +313,21 @@ func (c *CoRunPlatform) evaluateDetailed(progs []*program.Program, freqsGHz []fl
 	v[metrics.ChipPowerW] = chip.AvgPowerW()
 	steady := chip.TrimWarmupCapped(platform.TraceWarmupWindows)
 	v[metrics.ChipWorstDroopMV] = c.spec.Supply.WorstDroopMV(steady)
+	v[metrics.ChipMaxDIDTWPerNS] = steady.MaxStepWPerNS()
 	v[metrics.ChipTempC] = c.spec.Thermal.SteadyTempC(steady)
 	return v, chip, nil
 }
 
-// sumTraces aggregates the per-core traces into the chip waveform. One
-// shared effective clock keeps the exact cycle-grid fast path; mixed clocks
-// go through the nanosecond grid, with the grid window sized to the longest
-// per-core window duration so no core's trace is artificially sharpened and
-// the cycle-domain start skews converted through each core's own clock.
+// sumTraces aggregates the per-core traces into the chip waveform on the
+// nanosecond grid — the single aggregation path, whatever the chip's clock
+// mix. The grid window is sized to the longest per-core window duration so
+// no core's trace is artificially sharpened, and the cycle-domain start
+// skews convert through each core's own effective clock.
 func (c *CoRunPlatform) sumTraces(runs []coreRun) (powersim.PowerTrace, error) {
 	traces := make([]powersim.PowerTrace, len(runs))
-	homogeneous := true
-	for i, r := range runs {
-		traces[i] = r.trace
-		if r.freqGHz != runs[0].freqGHz {
-			homogeneous = false
-		}
-	}
-	if homogeneous {
-		return powersim.SumTraces(c.spec.windowCycles(), c.spec.OffsetCycles, traces...)
-	}
 	windowNS := 0.0
 	for i, r := range runs {
+		traces[i] = r.trace
 		if w := float64(c.spec.Cores[i].CPU.WindowCycles) / r.freqGHz; w > windowNS {
 			windowNS = w
 		}

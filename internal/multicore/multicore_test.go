@@ -66,11 +66,14 @@ func TestCoRunEvaluateProducesChipMetrics(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, name := range []string{metrics.ChipPowerW, metrics.ChipWorstDroopMV, metrics.ChipTempC,
-		"core0_ipc", "core1_ipc", "core0_dynamic_power_w", "core1_worst_droop_mv"} {
+	for _, name := range []string{metrics.ChipPowerW, metrics.ChipWorstDroopMV, metrics.ChipMaxDIDTWPerNS,
+		metrics.ChipTempC, "core0_ipc", "core1_ipc", "core0_dynamic_power_w", "core1_worst_droop_mv"} {
 		if _, ok := v[name]; !ok {
 			t.Errorf("chip evaluation missing %s", name)
 		}
+	}
+	if v[metrics.ChipMaxDIDTWPerNS] <= 0 {
+		t.Errorf("chip dI/dt %v should be positive for a duty-cycled kernel", v[metrics.ChipMaxDIDTWPerNS])
 	}
 	if v[metrics.ChipWorstDroopMV] <= v["core0_worst_droop_mv"] {
 		t.Errorf("chip droop %v should exceed a single co-runner's private droop %v",
@@ -290,8 +293,8 @@ func TestEvaluateCoRunDetailedAtOverridesClocks(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if chipBase.TimeDomain() {
-		t.Error("homogeneous chip should keep the cycle-grid trace")
+	if !chipBase.TimeDomain() {
+		t.Error("homogeneous chip should aggregate on the nanosecond grid like any other")
 	}
 	het, chipHet, err := c.EvaluateCoRunDetailedAt(progs, []float64{2.0, 1.2}, opts)
 	if err != nil {
@@ -309,13 +312,16 @@ func TestEvaluateCoRunDetailedAtOverridesClocks(t *testing.T) {
 	if het["core1_freq_ghz"] != 1.2 || het["core0_freq_ghz"] != 2.0 {
 		t.Errorf("override clocks reported as %v/%v", het["core0_freq_ghz"], het["core1_freq_ghz"])
 	}
-	// A uniform override stays on the cycle grid at the new clock.
+	// A uniform override re-times the grid through the new clock.
 	boost, chipBoost, err := c.EvaluateCoRunDetailedAt(progs, []float64{2.4, 2.4}, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if chipBoost.TimeDomain() {
-		t.Error("uniformly overridden clocks should keep the cycle grid")
+	if !chipBoost.TimeDomain() {
+		t.Error("uniformly overridden clocks should aggregate on the nanosecond grid")
+	}
+	if w, want := chipBoost.WindowNS, 64/2.4; w < want*(1-1e-12) || w > want*(1+1e-12) {
+		t.Errorf("boosted chip grid window %v ns, want %v ns (64 cycles at 2.4 GHz)", w, want)
 	}
 	if boost[metrics.ChipPowerW] <= base[metrics.ChipPowerW] {
 		t.Errorf("boosted chip power %v should exceed base %v", boost[metrics.ChipPowerW], base[metrics.ChipPowerW])
@@ -325,6 +331,99 @@ func TestEvaluateCoRunDetailedAtOverridesClocks(t *testing.T) {
 	}
 	if _, _, err := c.EvaluateCoRunDetailedAt(progs, []float64{2.0, -1}, opts); err == nil {
 		t.Error("negative clock override should be rejected")
+	}
+}
+
+// TestHomogeneousChipMatchesRetiredCycleGrid is the shim-retirement
+// equivalence pin: the chip metrics below were recorded by the old
+// cycle-grid aggregation path (powersim.SumTraces, deleted in the same PR
+// that added this test) for deterministic homogeneous co-runs, and the
+// single time-domain path must reproduce them to ≤1e-9. The supply and
+// thermal integrators consume per-point durations, so this also pins that
+// the nanosecond grid feeds them the same waveform the cycle grid did.
+func TestHomogeneousChipMatchesRetiredCycleGrid(t *testing.T) {
+	p := testKernel(t)
+	opts := platform.EvalOptions{DynamicInstructions: 6000, Seed: 1}
+	for _, tc := range []struct {
+		name    string
+		core    platform.CoreSpec
+		offsets []uint64
+		// Recorded outputs of the retired cycle-grid path for this fixture.
+		powerW, droopMV, tempC float64
+		points                 int
+		energyPJ               float64
+	}{
+		{"aligned-small", platform.Small(), nil,
+			0.44620854993578374, 48.225680781327604, 57.519472881333371, 511, 7295956},
+		{"skewed-small", platform.Small(), []uint64{0, 2048},
+			0.4199111366906475, 37.969880975622594, 56.936968547852267, 543, 7295956},
+		{"aligned-large", platform.Large(), nil,
+			1.1495336686042714, 212.36452807990224, 77.265073962839011, 479, 17600510},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			spec := Homogeneous(tc.core, 2)
+			spec.OffsetCycles = tc.offsets
+			c, err := New(spec, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			v, chip, err := c.EvaluateCoRunDetailed([]*program.Program{p, p}, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !chip.TimeDomain() {
+				t.Fatal("chip trace should be time-domain (single aggregation path)")
+			}
+			for _, m := range []struct {
+				name      string
+				got, want float64
+			}{
+				{metrics.ChipPowerW, v[metrics.ChipPowerW], tc.powerW},
+				{metrics.ChipWorstDroopMV, v[metrics.ChipWorstDroopMV], tc.droopMV},
+				{metrics.ChipTempC, v[metrics.ChipTempC], tc.tempC},
+				{"trace energy (pJ)", chip.TotalEnergyPJ(), tc.energyPJ},
+			} {
+				if diff := m.got - m.want; diff > 1e-9*m.want || diff < -1e-9*m.want {
+					t.Errorf("%s = %.17g, cycle-grid path recorded %.17g (want ≤1e-9 relative)",
+						m.name, m.got, m.want)
+				}
+			}
+			if len(chip.Points) != tc.points {
+				t.Errorf("chip trace has %d windows, cycle-grid path had %d", len(chip.Points), tc.points)
+			}
+		})
+	}
+}
+
+// TestAlignedChipBeatsSkewedOnChipDIDT pins the new chip-level dI/dt metric
+// (the one heterogeneous chips used to silently lose): two phase-aligned
+// co-runners stack their burst edges into one steep chip-level power step,
+// so they must beat the same pair skewed by a third of the supply-resonance
+// period on chip_max_didt_w_per_ns.
+func TestAlignedChipBeatsSkewedOnChipDIDT(t *testing.T) {
+	p := testKernel(t)
+	opts := platform.EvalOptions{DynamicInstructions: 6000, Seed: 1}
+	progs := []*program.Program{p, p}
+	aligned, err := twoSmall(t, 1).EvaluateCoRun(progs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	skewSpec := Homogeneous(platform.Small(), 2)
+	skewSpec.OffsetCycles = []uint64{0, 2048}
+	skewPlat, err := New(skewSpec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	skewed, err := skewPlat.EvaluateCoRun(progs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	da, ds := aligned[metrics.ChipMaxDIDTWPerNS], skewed[metrics.ChipMaxDIDTWPerNS]
+	if da <= 0 || ds <= 0 {
+		t.Fatalf("both chips should report a positive dI/dt, got aligned %v, skewed %v", da, ds)
+	}
+	if da <= ds {
+		t.Errorf("phase-aligned chip dI/dt %v W/ns should beat the skewed chip's %v W/ns", da, ds)
 	}
 }
 

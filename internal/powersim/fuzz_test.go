@@ -54,3 +54,47 @@ func FuzzSumTraces(f *testing.F) {
 		}
 	})
 }
+
+// FuzzSumTracesOneClockOracle is the permanent equivalence oracle for the
+// retired cycle-grid shim: for random window lengths, start skews, clock
+// frequencies and trace shapes that share one clock, SumTracesTime on the
+// matching nanosecond grid must reproduce the exact-integer cycle-grid
+// aggregation (sumTracesCycleGrid) window for window to ≤1e-9 of the chip
+// energy scale. Wired into `make fuzz` and the CI fuzz smoke step.
+func FuzzSumTracesOneClockOracle(f *testing.F) {
+	f.Add(int64(1), uint8(2), uint16(64))
+	f.Add(int64(7), uint8(4), uint16(48))
+	f.Add(int64(42), uint8(1), uint16(1))
+	f.Add(int64(-9), uint8(255), uint16(1023))
+	f.Fuzz(func(t *testing.T, seed int64, nTraces uint8, windowCycles uint16) {
+		wc := int(windowCycles)%1024 + 1
+		n := int(nTraces%6) + 1
+		rng := rand.New(rand.NewSource(seed))
+		freq := 0.4 + 4*rng.Float64() // one shared clock, 0.4–4.4 GHz
+		traces := make([]PowerTrace, n)
+		offsets := make([]uint64, n)
+		offsetsNS := make([]float64, n)
+		for i := range traces {
+			tr := PowerTrace{WindowCycles: 1 + rng.Intn(256), FrequencyGHz: freq}
+			for j, points := 0, rng.Intn(40); j < points; j++ {
+				cycles := uint64(1 + rng.Intn(tr.WindowCycles))
+				e := rng.Float64() * 1000
+				p := TracePoint{Cycles: cycles, EnergyPJ: e}
+				p.PowerW = e / float64(cycles) * freq / 1000
+				tr.Points = append(tr.Points, p)
+			}
+			offsets[i] = uint64(rng.Intn(2048))
+			offsetsNS[i] = float64(offsets[i]) / freq
+			traces[i] = tr
+		}
+		cyc, err := sumTracesCycleGrid(wc, offsets, traces...)
+		if err != nil {
+			t.Fatalf("cycle-grid oracle: %v", err)
+		}
+		tim, err := SumTracesTime(float64(wc)/freq, offsetsNS, traces...)
+		if err != nil {
+			t.Fatalf("SumTracesTime: %v", err)
+		}
+		requireOneClockMatch(t, cyc, tim)
+	})
+}

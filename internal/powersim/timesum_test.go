@@ -69,31 +69,6 @@ func TestSumTracesTimeOverlappingPowersAdd(t *testing.T) {
 	}
 }
 
-// TestSumTracesTimeMatchesCycleShim pins the homogeneous fast path: on one
-// shared clock the nanosecond grid and the cycle grid are the same
-// aggregation, window for window.
-func TestSumTracesTimeMatchesCycleShim(t *testing.T) {
-	a := flatTrace(4, 0.5)           // 64-cycle windows at 2 GHz
-	b := squareTrace(4, 1, 0.2, 1.0) // same clock
-	cyc, err := SumTraces(64, []uint64{0, 32}, a, b)
-	if err != nil {
-		t.Fatal(err)
-	}
-	tim, err := SumTracesTime(32, []float64{0, 16}, a, b) // 64 cycles @ 2 GHz = 32 ns
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(tim.Points) != len(cyc.Points) {
-		t.Fatalf("time grid has %d windows, cycle grid %d", len(tim.Points), len(cyc.Points))
-	}
-	for i := range cyc.Points {
-		ce, te := cyc.Points[i].EnergyPJ, tim.Points[i].EnergyPJ
-		if math.Abs(ce-te) > 1e-9*(1+ce) {
-			t.Errorf("window %d: time-grid energy %v, cycle-grid %v", i, te, ce)
-		}
-	}
-}
-
 func TestSumTracesTimeSkipsEmptyTraces(t *testing.T) {
 	a := flatTraceAt(4, 64, 2.0, 1.0) // 128 ns
 	empty := PowerTrace{WindowCycles: 64, FrequencyGHz: 2}
@@ -130,28 +105,6 @@ func TestSumTracesTimeRejectsBadInputs(t *testing.T) {
 	clockless.FrequencyGHz = 0
 	if _, err := SumTracesTime(32, nil, clockless); err == nil {
 		t.Error("cycle windows without a clock should be rejected")
-	}
-}
-
-// TestSumTracesSkipsEmptyTraceOffsets is the regression pin for the cycle
-// shim: an empty trace with a nonzero start skew used to stretch the grid
-// with zero-power windows, silently dragging down the chip averages.
-func TestSumTracesSkipsEmptyTraceOffsets(t *testing.T) {
-	full := flatTrace(4, 1.0)
-	empty := PowerTrace{WindowCycles: 64, FrequencyGHz: 2}
-	sum, err := SumTraces(64, []uint64{0, 4096}, full, empty)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(sum.Points) != 4 {
-		t.Errorf("empty trace's skew inflated the grid to %d windows, want 4", len(sum.Points))
-	}
-	if avg, want := sum.AvgPowerW(), full.AvgPowerW(); math.Abs(avg-want) > 1e-12 {
-		t.Errorf("average power %v dragged down by phantom windows, want %v", avg, want)
-	}
-	// An empty trace is also exempt from the clock-domain check.
-	if _, err := SumTraces(64, nil, PowerTrace{FrequencyGHz: 3}, full); err != nil {
-		t.Errorf("empty trace on another clock should be tolerated: %v", err)
 	}
 }
 

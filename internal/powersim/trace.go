@@ -185,13 +185,14 @@ func (t PowerTrace) MaxPowerW() float64 {
 	return max
 }
 
-// MaxStepWPerCycle is the dI/dt proxy metric: the largest power change
-// between adjacent full-length windows, normalized by the nominal window
-// length, in watts per cycle. Partial windows (the tail of a run) are
+// MaxStepWPerCycle is the cycle-domain dI/dt proxy metric: the largest power
+// change between adjacent full-length windows, normalized by the nominal
+// window length, in watts per cycle. Partial windows (the tail of a run) are
 // excluded — their short averaging interval would otherwise inflate the
 // metric by up to the window length depending on where the run happens to
 // end. The metric is cycle-domain by definition; time-domain traces have no
-// cycle to normalize by and report 0.
+// cycle to normalize by and report 0 — use MaxStepWPerNS for a metric that
+// covers both domains.
 func (t PowerTrace) MaxStepWPerCycle() float64 {
 	max := 0.0
 	nominal := uint64(t.WindowCycles)
@@ -217,117 +218,68 @@ func (t PowerTrace) MaxStepWPerCycle() float64 {
 	return max
 }
 
-// Resample redistributes the trace's energy onto a fresh grid of
-// windowCycles-long windows, with the whole trace shifted right by
-// offsetCycles (the leading offset windows draw no power). Energy is
-// conserved: each point's energy is spread uniformly over its cycle span and
-// accumulated into the grid windows it overlaps.
-func (t PowerTrace) Resample(windowCycles int, offsetCycles uint64) (PowerTrace, error) {
-	return SumTraces(windowCycles, []uint64{offsetCycles}, t)
-}
-
-// SumTraces aligns several power traces onto one common grid of
-// windowCycles-long windows — shifting trace i right by offsets[i] cycles
-// (nil means no skew) — and sums them into a single chip-level trace. The
-// traces may have different window lengths and run lengths; they must share
-// one clock frequency. Summation order is fixed (trace order, then window
-// order), so the result is bit-deterministic.
-//
-// This is the aggregation step of the multi-core co-run platform: per-core
-// traces, offset by each core's start skew, become the load waveform the
-// shared supply and thermal models see.
-func SumTraces(windowCycles int, offsets []uint64, traces ...PowerTrace) (PowerTrace, error) {
-	if windowCycles <= 0 {
-		return PowerTrace{}, fmt.Errorf("powersim: non-positive sum window length %d", windowCycles)
-	}
-	if len(traces) == 0 {
-		return PowerTrace{}, fmt.Errorf("powersim: no traces to sum")
-	}
-	if offsets != nil && len(offsets) != len(traces) {
-		return PowerTrace{}, fmt.Errorf("powersim: %d offsets for %d traces", len(offsets), len(traces))
-	}
-	// The clock domain is set by the first trace that actually has samples;
-	// empty traces carry no timing and are exempt from the frequency check.
-	freq := traces[0].FrequencyGHz
-	for _, tr := range traces {
-		if !tr.Empty() {
-			freq = tr.FrequencyGHz
-			break
+// MaxStepWPerNS is the time-normalized dI/dt proxy metric: the largest power
+// change between adjacent full-length windows, normalized by the nominal
+// window duration, in watts per nanosecond. It is domain-aware — a
+// cycle-domain trace's nominal window duration is WindowCycles through the
+// trace clock, a time-domain trace's is WindowNS — so chip-level aggregates
+// on the nanosecond grid keep a dI/dt metric. Partial windows are excluded
+// for the same reason MaxStepWPerCycle excludes them. Traces without a
+// nominal window (no WindowCycles/clock and no WindowNS) report 0.
+func (t PowerTrace) MaxStepWPerNS() float64 {
+	nominalNS := t.WindowNS
+	if !t.TimeDomain() {
+		if t.WindowCycles <= 0 || t.FrequencyGHz <= 0 {
+			return 0
 		}
+		nominalNS = float64(t.WindowCycles) / t.FrequencyGHz
 	}
-	var end uint64
-	for i, tr := range traces {
-		if tr.Empty() {
-			// An empty trace has no span: its skew must not stretch the grid
-			// with zero-power windows that would dilute the chip averages.
+	max := 0.0
+	for i := 1; i < len(t.Points); i++ {
+		if !t.fullWindow(i, nominalNS) || !t.fullWindow(i-1, nominalNS) {
 			continue
 		}
-		if tr.FrequencyGHz != freq {
-			return PowerTrace{}, fmt.Errorf("powersim: trace %d runs at %g GHz, want %g GHz (use SumTracesTime for mixed clocks)", i, tr.FrequencyGHz, freq)
+		d := t.Points[i].PowerW - t.Points[i-1].PowerW
+		if d < 0 {
+			d = -d
 		}
-		var cycles uint64
-		for _, p := range tr.Points {
-			cycles += p.Cycles
-		}
-		if offsets != nil {
-			cycles += offsets[i]
-		}
-		if cycles > end {
-			end = cycles
+		if d/nominalNS > max {
+			max = d / nominalNS
 		}
 	}
-	out := PowerTrace{WindowCycles: windowCycles, FrequencyGHz: freq}
-	if end == 0 {
-		return out, nil
+	return max
+}
+
+// fullWindow reports whether point i spans the trace's nominal window
+// length; the dI/dt metrics skip partial (tail) windows. Time-domain
+// durations get a relative tolerance because the tail window's span is
+// computed, not assigned.
+func (t PowerTrace) fullWindow(i int, nominalNS float64) bool {
+	if t.TimeDomain() {
+		d := t.Points[i].DurationNS
+		return math.Abs(d-nominalNS) <= 1e-9*nominalNS
 	}
-	wc := uint64(windowCycles)
-	energy := make([]float64, int((end+wc-1)/wc))
-	for i, tr := range traces {
-		cursor := uint64(0)
-		if offsets != nil {
-			cursor = offsets[i]
-		}
-		for _, p := range tr.Points {
-			if p.Cycles == 0 {
-				continue
-			}
-			perCycle := p.EnergyPJ / float64(p.Cycles)
-			remaining := p.Cycles
-			for remaining > 0 {
-				w := cursor / wc
-				take := (w+1)*wc - cursor
-				if take > remaining {
-					take = remaining
-				}
-				energy[w] += float64(take) * perCycle
-				cursor += take
-				remaining -= take
-			}
-		}
-	}
-	out.Points = make([]TracePoint, len(energy))
-	for w := range energy {
-		cycles := wc
-		if tail := end - uint64(w)*wc; tail < cycles {
-			cycles = tail
-		}
-		pt := TracePoint{Cycles: cycles, EnergyPJ: energy[w]}
-		if cycles > 0 {
-			pt.PowerW = pt.EnergyPJ / float64(cycles) * freq / 1000
-		}
-		out.Points[w] = pt
-	}
-	return out, nil
+	return t.Points[i].Cycles == uint64(t.WindowCycles)
+}
+
+// Resample redistributes the trace's energy onto a fresh time-domain grid of
+// windowNS-long windows, with the whole trace shifted right by offsetNS (the
+// leading offset windows draw no power). It is domain-aware: cycle-domain
+// points convert to time spans through the trace clock, time-domain points
+// carry their own durations. Energy is conserved, and the result is always a
+// time-domain trace (it rides the SumTracesTime engine).
+func (t PowerTrace) Resample(windowNS, offsetNS float64) (PowerTrace, error) {
+	return SumTracesTime(windowNS, []float64{offsetNS}, t)
 }
 
 // SumTracesTime aligns several power traces onto one common grid of
 // windowNS-long windows in the time domain — converting each trace's cycle
 // spans to nanoseconds through its own FrequencyGHz, shifting trace i right
 // by offsetsNS[i] nanoseconds (nil means no skew) — and sums them into a
-// single chip-level trace. Unlike SumTraces the inputs may run on different
-// clocks; this is the aggregation step behind heterogeneous-frequency
-// (big.LITTLE / DVFS) co-runs. Empty traces contribute nothing, skew
-// included.
+// single chip-level trace. The inputs may run on different clocks; this is
+// the single aggregation step of the multi-core co-run platform, for
+// homogeneous chips and heterogeneous-frequency (big.LITTLE / DVFS) co-runs
+// alike. Empty traces contribute nothing, skew included.
 //
 // Energy is conserved: each point's energy is spread uniformly over its
 // time span, and a span's per-window overlaps are computed as differences
@@ -431,20 +383,26 @@ func SumTracesTime(windowNS float64, offsetsNS []float64, traces ...PowerTrace) 
 	return out, nil
 }
 
-// WriteCSV dumps the trace as "window,cycles,time_ns,energy_pj,power_w"
-// rows, the format cmd/mgbench's -trace flag produces.
+// WriteCSV dumps the trace as
+// "window,cycles,time_ns,duration_ns,energy_pj,power_w" rows, the format
+// cmd/mgbench's -trace flag produces. time_ns is the cumulative time at the
+// *end* of the window (the time axis of the waveform); duration_ns is the
+// window's own span, which disambiguates time-domain rows where cycles is 0
+// and the final, possibly partial, window of either domain.
 func (t PowerTrace) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
-	if err := cw.Write([]string{"window", "cycles", "time_ns", "energy_pj", "power_w"}); err != nil {
+	if err := cw.Write([]string{"window", "cycles", "time_ns", "duration_ns", "energy_pj", "power_w"}); err != nil {
 		return err
 	}
 	timeNS := 0.0
 	for i, p := range t.Points {
-		timeNS += t.PointDurationNS(i)
+		d := t.PointDurationNS(i)
+		timeNS += d
 		rec := []string{
 			strconv.Itoa(i),
 			strconv.FormatUint(p.Cycles, 10),
 			strconv.FormatFloat(timeNS, 'f', 2, 64),
+			strconv.FormatFloat(d, 'f', 3, 64),
 			strconv.FormatFloat(p.EnergyPJ, 'f', 1, 64),
 			strconv.FormatFloat(p.PowerW, 'f', 6, 64),
 		}

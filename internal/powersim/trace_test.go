@@ -121,97 +121,67 @@ func TestMaxStepExcludesPartialTailWindow(t *testing.T) {
 	}
 }
 
-func TestSumTracesConservesEnergyAndAligns(t *testing.T) {
-	a := flatTrace(4, 0.5)           // 256 cycles at 0.5 W
-	b := squareTrace(4, 1, 0.2, 1.0) // 256 cycles alternating
-	sum, err := SumTraces(64, nil, a, b)
+func TestMaxStepWPerNS(t *testing.T) {
+	// Cycle domain: a 64-cycle window at 2 GHz spans 32 ns, so the per-ns
+	// step is the per-cycle step times the clock.
+	tr := squareTrace(8, 2, 0.2, 1.0)
+	want := (1.0 - 0.2) / 32
+	if got := tr.MaxStepWPerNS(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("cycle-domain max step %v W/ns, want %v", got, want)
+	}
+	if perCyc := tr.MaxStepWPerCycle(); math.Abs(tr.MaxStepWPerNS()-perCyc*tr.FrequencyGHz) > 1e-12 {
+		t.Errorf("per-ns step %v should equal per-cycle step %v x clock", tr.MaxStepWPerNS(), perCyc)
+	}
+	// Time domain: the same waveform on the nanosecond grid keeps the metric
+	// (MaxStepWPerCycle reports 0 there — the gap this metric closes).
+	tim, err := tr.Resample(32, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(sum.Points) != 4 {
-		t.Fatalf("summed trace has %d windows, want 4", len(sum.Points))
+	if !tim.TimeDomain() {
+		t.Fatal("resampled trace should be time-domain")
 	}
-	var wantE, gotE float64
-	for i := range a.Points {
-		wantE += a.Points[i].EnergyPJ + b.Points[i].EnergyPJ
+	if got := tim.MaxStepWPerCycle(); got != 0 {
+		t.Errorf("time-domain trace has no per-cycle step, got %v", got)
 	}
-	for _, p := range sum.Points {
-		gotE += p.EnergyPJ
+	if got := tim.MaxStepWPerNS(); math.Abs(got-want) > 1e-9*want {
+		t.Errorf("time-domain max step %v W/ns, want %v", got, want)
 	}
-	if math.Abs(gotE-wantE) > 1e-9 {
-		t.Errorf("summed energy %v, want %v (energy must be conserved)", gotE, wantE)
-	}
-	if got, want := sum.Points[0].PowerW, 0.5+0.2; math.Abs(got-want) > 1e-12 {
-		t.Errorf("window 0 power %v, want %v", got, want)
-	}
-	if got, want := sum.Points[1].PowerW, 0.5+1.0; math.Abs(got-want) > 1e-12 {
-		t.Errorf("window 1 power %v, want %v", got, want)
+	if got := (PowerTrace{}).MaxStepWPerNS(); got != 0 {
+		t.Errorf("empty trace should have zero step, got %v", got)
 	}
 }
 
-func TestSumTracesHonoursOffsets(t *testing.T) {
-	a := flatTrace(2, 1.0)
-	// Offset the second core by half a window: its energy splits across the
-	// grid windows it overlaps, and the total span grows by the skew.
-	sum, err := SumTraces(64, []uint64{0, 32}, a, a)
+func TestMaxStepWPerNSExcludesPartialTailWindow(t *testing.T) {
+	// A short tail window averages its energy over a short span and would
+	// fake a huge dI/dt; the time-domain metric must skip it like the
+	// cycle-domain one does.
+	tr := flatTrace(6, 0.5)
+	tail := TracePoint{Cycles: 4, EnergyPJ: 0.5 * 1000 * 4 / 2 * 10, PowerW: 5.0}
+	tr.Points = append(tr.Points, tail)
+	if got := tr.MaxStepWPerNS(); got != 0 {
+		t.Errorf("partial tail window leaked into the per-ns step metric: %v", got)
+	}
+	tim, err := squareTrace(8, 2, 0.2, 1.0).Resample(48, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(sum.Points) != 3 {
-		t.Fatalf("skewed sum has %d windows, want 3", len(sum.Points))
+	// 8 x 32 ns = 256 ns on a 48 ns grid: the 16 ns tail window is partial.
+	if last := tim.Points[len(tim.Points)-1].DurationNS; math.Abs(last-16) > 1e-9 {
+		t.Fatalf("tail window spans %v ns, want 16", last)
 	}
-	perWindow := a.Points[0].EnergyPJ
-	if got, want := sum.Points[0].EnergyPJ, perWindow*1.5; math.Abs(got-want) > 1e-9 {
-		t.Errorf("window 0 energy %v, want %v (full + half overlap)", got, want)
-	}
-	if got, want := sum.Points[2].EnergyPJ, perWindow*0.5; math.Abs(got-want) > 1e-9 {
-		t.Errorf("tail window energy %v, want %v", got, want)
-	}
-	if got := sum.Points[2].Cycles; got != 32 {
-		t.Errorf("tail window spans %d cycles, want 32", got)
-	}
-}
-
-func TestSumTracesResamplesMixedWindowLengths(t *testing.T) {
-	fine := PowerTrace{WindowCycles: 32, FrequencyGHz: 2}
-	for i := 0; i < 4; i++ {
-		fine.Points = append(fine.Points, TracePoint{Cycles: 32, EnergyPJ: 100, PowerW: 100 / 32.0 * 2 / 1000})
-	}
-	coarse := flatTrace(2, 0.5)
-	sum, err := SumTraces(64, nil, fine, coarse)
+	full, err := squareTrace(8, 2, 0.2, 1.0).Resample(32, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(sum.Points) != 2 {
-		t.Fatalf("mixed-window sum has %d windows, want 2", len(sum.Points))
-	}
-	want := 200 + coarse.Points[0].EnergyPJ
-	if got := sum.Points[0].EnergyPJ; math.Abs(got-want) > 1e-9 {
-		t.Errorf("window 0 energy %v, want %v", got, want)
-	}
-}
-
-func TestSumTracesRejectsBadInputs(t *testing.T) {
-	a := flatTrace(2, 1.0)
-	if _, err := SumTraces(0, nil, a); err == nil {
-		t.Error("non-positive window length should be rejected")
-	}
-	if _, err := SumTraces(64, nil); err == nil {
-		t.Error("empty trace list should be rejected")
-	}
-	if _, err := SumTraces(64, []uint64{1}, a, a); err == nil {
-		t.Error("offset/trace count mismatch should be rejected")
-	}
-	b := a
-	b.FrequencyGHz = 3
-	if _, err := SumTraces(64, nil, a, b); err == nil {
-		t.Error("mixed clock frequencies should be rejected")
+	if tim.MaxStepWPerNS() <= 0 || full.MaxStepWPerNS() <= 0 {
+		t.Error("square waves should register a positive per-ns step")
 	}
 }
 
 func TestResampleShiftsTrace(t *testing.T) {
 	a := flatTrace(2, 1.0)
-	shifted, err := a.Resample(64, 64)
+	shifted, err := a.Resample(32, 32) // one 64-cycle window at 2 GHz = 32 ns
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -221,8 +191,45 @@ func TestResampleShiftsTrace(t *testing.T) {
 	if shifted.Points[0].EnergyPJ != 0 {
 		t.Errorf("leading offset window should be idle, has %v pJ", shifted.Points[0].EnergyPJ)
 	}
-	if got, want := shifted.Points[1].EnergyPJ, a.Points[0].EnergyPJ; got != want {
+	if got, want := shifted.Points[1].EnergyPJ, a.Points[0].EnergyPJ; math.Abs(got-want) > 1e-9*want {
 		t.Errorf("shifted window 1 energy %v, want %v", got, want)
+	}
+}
+
+// TestResampleTimeDomainConservesEnergy is the regression pin for the
+// time-domain Resample hole: the old cycle-grid implementation summed
+// p.Cycles — all zero on a time-domain trace — and silently returned an
+// empty trace. Resampling must work in both domains and conserve energy.
+func TestResampleTimeDomainConservesEnergy(t *testing.T) {
+	a := flatTraceAt(5, 64, 2.0, 1.0)
+	b := flatTraceAt(7, 48, 1.2, 0.5)
+	tim, err := SumTracesTime(26.5, nil, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tim.TimeDomain() || tim.Empty() {
+		t.Fatal("fixture should be a non-empty time-domain trace")
+	}
+	re, err := tim.Resample(40.25, 13.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Empty() {
+		t.Fatal("resampled time-domain trace is empty (the old silent failure)")
+	}
+	want := tim.TotalEnergyPJ()
+	if got := re.TotalEnergyPJ(); math.Abs(got-want) > 1e-9*want {
+		t.Errorf("resampled energy %v pJ, want %v pJ (conservation to 1e-9)", got, want)
+	}
+	wantSpan := 13.5 + tim.DurationNS()
+	if span := re.DurationNS(); math.Abs(span-wantSpan) > 1e-9*wantSpan {
+		t.Errorf("resampled span %v ns, want %v ns", span, wantSpan)
+	}
+	if _, err := tim.Resample(0, 0); err == nil {
+		t.Error("non-positive resample window should be rejected")
+	}
+	if _, err := tim.Resample(32, -1); err == nil {
+		t.Error("negative resample offset should be rejected")
 	}
 }
 
@@ -344,10 +351,38 @@ func TestTraceWriteCSV(t *testing.T) {
 	if len(lines) != 5 {
 		t.Fatalf("CSV has %d lines, want header + 4 rows", len(lines))
 	}
-	if lines[0] != "window,cycles,time_ns,energy_pj,power_w" {
+	if lines[0] != "window,cycles,time_ns,duration_ns,energy_pj,power_w" {
 		t.Errorf("unexpected CSV header %q", lines[0])
 	}
-	if !strings.HasPrefix(lines[1], "0,64,32.00,") {
+	// time_ns is the cumulative window *end*; duration_ns the window's span.
+	if !strings.HasPrefix(lines[1], "0,64,32.00,32.000,") {
 		t.Errorf("unexpected first row %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[2], "1,64,64.00,32.000,") {
+		t.Errorf("unexpected second row %q", lines[2])
+	}
+}
+
+// TestTraceWriteCSVTimeDomain pins the disambiguated time-domain dump: rows
+// carry cycles=0 but a real duration_ns, so heterogeneous chip traces are no
+// longer ambiguous.
+func TestTraceWriteCSVTimeDomain(t *testing.T) {
+	tim, err := flatTrace(3, 1.0).Resample(24, 0) // 96 ns of trace on a 24 ns grid
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := tim.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("CSV has %d lines, want header + 4 rows", len(lines))
+	}
+	if !strings.HasPrefix(lines[1], "0,0,24.00,24.000,") {
+		t.Errorf("unexpected first time-domain row %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[4], "3,0,96.00,24.000,") {
+		t.Errorf("unexpected last time-domain row %q", lines[4])
 	}
 }

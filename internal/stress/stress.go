@@ -391,7 +391,7 @@ type ConfigEvaluator interface {
 func powerDerived(metric string) bool {
 	switch metric {
 	case metrics.DynamicPowerW, metrics.WorstDroopMV, metrics.MaxDIDTWPerCycle, metrics.TempC,
-		metrics.ChipPowerW, metrics.ChipWorstDroopMV, metrics.ChipTempC:
+		metrics.ChipPowerW, metrics.ChipWorstDroopMV, metrics.ChipMaxDIDTWPerNS, metrics.ChipTempC:
 		return true
 	}
 	return false

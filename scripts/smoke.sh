@@ -35,6 +35,16 @@ run "mgbench thermal-virus"       "$bin_dir/mgbench" -kind thermal-virus -quick 
 run "mgbench corun-noise-virus"   "$bin_dir/mgbench" -kind corun-noise-virus -quick -core small -cores 2 -instructions 3000 -trace "$bin_dir/chip_trace.csv"
 test -s "$bin_dir/trace.csv" || { echo "FAIL: trace dump is empty" >&2; exit 1; }
 test -s "$bin_dir/chip_trace.csv" || { echo "FAIL: chip trace dump is empty" >&2; exit 1; }
+# Trace dumps carry the per-window span: time_ns is the cumulative window
+# end, duration_ns disambiguates time-domain rows (cycles=0) and partial
+# tails.
+want_header='window,cycles,time_ns,duration_ns,energy_pj,power_w'
+for f in trace.csv chip_trace.csv; do
+    head -1 "$bin_dir/$f" | grep -q "$want_header" || {
+        echo "FAIL: $f header lacks duration_ns (got: $(head -1 "$bin_dir/$f"))" >&2
+        exit 1
+    }
+done
 
 # Heterogeneous-frequency co-run: the dvfs experiment must run, and its chip
 # metrics must be identical at any parallelism (the timing line is stripped).
