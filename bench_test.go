@@ -21,6 +21,7 @@ import (
 	"micrograd/internal/metrics"
 	"micrograd/internal/microprobe"
 	"micrograd/internal/platform"
+	"micrograd/internal/program"
 	"micrograd/internal/sched"
 	"micrograd/internal/trace"
 	"micrograd/internal/workloads"
@@ -256,6 +257,82 @@ func BenchmarkParallelEvaluate(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkEvalCold is the pre-redesign evaluation unit: a fresh platform
+// and a fresh plain synthesizer per batch, so every evaluation pays for
+// synthesis, validation and predecode. Counterpart of
+// BenchmarkEvalSessionReuse.
+func BenchmarkEvalCold(b *testing.B) {
+	cfgs := benchSessionConfigs()
+	opts := platform.EvalOptions{DynamicInstructions: 4000, Seed: 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		syn := microprobe.NewSynthesizer(microprobe.Options{LoopSize: 200, Seed: 1})
+		plat, err := platform.NewSimPlatform(platform.Large())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, cfg := range cfgs {
+			p, err := syn.Synthesize("bench-cold", cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := plat.EvaluateRequest(platform.EvalRequest{
+				Programs: []*program.Program{p}, Options: opts,
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkEvalSessionReuse is the redesigned evaluation unit: one reusable
+// session whose synthesis memo and simulator scratch survive across the
+// batch, pinning the steady-state hot path (allocs/op stays a small
+// constant — essentially just the returned metric vectors).
+func BenchmarkEvalSessionReuse(b *testing.B) {
+	cfgs := benchSessionConfigs()
+	opts := platform.EvalOptions{DynamicInstructions: 4000, Seed: 1}
+	syn := microprobe.NewCachingSynthesizer(microprobe.Options{LoopSize: 200, Seed: 1})
+	plat, err := platform.NewSimPlatform(platform.Large())
+	if err != nil {
+		b.Fatal(err)
+	}
+	session := platform.NewEvalSession(plat, syn)
+	// Warm the synthesis memo once so the loop measures steady state.
+	for _, cfg := range cfgs {
+		if _, err := session.Evaluate(platform.EvalRequest{Name: "bench-warm", Config: cfg, Options: opts}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, cfg := range cfgs {
+			if _, err := session.Evaluate(platform.EvalRequest{Name: "bench-warm", Config: cfg, Options: opts}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// benchSessionConfigs draws the small distinct-configuration batch shared by
+// the cold/warm evaluation benchmarks.
+func benchSessionConfigs() []knobs.Config {
+	rng := rand.New(rand.NewSource(11))
+	space := knobs.StressSpace()
+	seen := map[string]bool{}
+	var cfgs []knobs.Config
+	for len(cfgs) < 4 {
+		cfg := space.RandomConfig(rng)
+		if key := cfg.Key(); !seen[key] {
+			seen[key] = true
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	return cfgs
 }
 
 // BenchmarkReferenceWorkloadMeasurement measures the cost of obtaining one

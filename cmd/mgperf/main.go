@@ -1,0 +1,404 @@
+// Command mgperf is the performance-trajectory harness behind `make perf`:
+// it measures the evaluation pipeline's throughput — synthesized kernels
+// simulated on the Large core, the unit of work inside every tuning epoch —
+// and writes the numbers as JSON (the BENCH_<n>.json schema documented in
+// ROADMAP.md).
+//
+// Measurements:
+//
+//   - evaluations/sec and instructions/sec of the stress single-core
+//     workload at each -parallel level (1, 2 and GOMAXPROCS by default);
+//   - the chip-trace aggregation cost (powersim.SumTracesTime) in ns/call;
+//   - the evaluation-memo and synthesis-memo hit/miss counters of a
+//     repeated-configuration pass.
+//
+// A previous run's output can be embedded via -baseline, which also records
+// the evaluations/sec speedup of the current build over it:
+//
+//	mgperf -out BENCH_6.json -baseline bench_baseline.json
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"micrograd/internal/knobs"
+	"micrograd/internal/metrics"
+	"micrograd/internal/microprobe"
+	"micrograd/internal/platform"
+	"micrograd/internal/powersim"
+	"micrograd/internal/program"
+	"micrograd/internal/sched"
+	"micrograd/internal/tuner"
+)
+
+// Workload describes the measured workload so runs are comparable.
+type Workload struct {
+	Core                string `json:"core"`
+	Space               string `json:"space"`
+	DynamicInstructions int    `json:"dynamic_instructions"`
+	LoopSize            int    `json:"loop_size"`
+	Evaluations         int    `json:"evaluations"`
+	Seed                int64  `json:"seed"`
+}
+
+// ThroughputPoint is the measured evaluation throughput at one worker count.
+type ThroughputPoint struct {
+	Parallel           int     `json:"parallel"`
+	Seconds            float64 `json:"seconds"`
+	EvalsPerSec        float64 `json:"evals_per_sec"`
+	InstructionsPerSec float64 `json:"instructions_per_sec"`
+}
+
+// SumTracesCost is the chip-trace aggregation cost.
+type SumTracesCost struct {
+	Cores       int     `json:"cores"`
+	Windows     int     `json:"windows"`
+	NSPerCall   float64 `json:"ns_per_call"`
+	CallsPerSec float64 `json:"calls_per_sec"`
+}
+
+// MemoCounters are cache hit/miss counters of a memoized component.
+type MemoCounters struct {
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+}
+
+// Measurement is one complete harness run.
+type Measurement struct {
+	GoMaxProcs int               `json:"go_max_procs"`
+	GoVersion  string            `json:"go_version"`
+	Throughput []ThroughputPoint `json:"throughput"`
+	SumTraces  SumTracesCost     `json:"sum_traces"`
+	// EvalMemo counts the evaluation-result memo's hits/misses over a pass
+	// that revisits every configuration once (so hits == misses == evals
+	// when the memo works).
+	EvalMemo MemoCounters `json:"eval_memo"`
+	// SynthMemo counts the kernel-synthesis memo's hits/misses over the same
+	// pass (absent pre-redesign builds report zeros).
+	SynthMemo MemoCounters `json:"synth_memo"`
+}
+
+// Report is the BENCH_<n>.json document.
+type Report struct {
+	PR       int          `json:"pr"`
+	Workload Workload     `json:"workload"`
+	Current  Measurement  `json:"current"`
+	Baseline *Measurement `json:"baseline,omitempty"`
+	// SpeedupEvalsPerSec is current/baseline evaluations-per-sec at
+	// -parallel 1 (the serial hot path), when a baseline is embedded.
+	SpeedupEvalsPerSec float64 `json:"speedup_evals_per_sec,omitempty"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "mgperf:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("mgperf", flag.ContinueOnError)
+	var (
+		evals        = fs.Int("evals", 24, "distinct knob configurations per throughput pass")
+		dynInstr     = fs.Int("instructions", 40000, "dynamic instructions per evaluation")
+		loopSize     = fs.Int("loop-size", 500, "static kernel size")
+		seed         = fs.Int64("seed", 1, "random seed for configuration sampling and trace expansion")
+		parallelList = fs.String("parallel", "", "comma-separated worker counts to measure (default \"1,2,N\" with N=GOMAXPROCS)")
+		prNum        = fs.Int("pr", 6, "PR number recorded in the report")
+		outPath      = fs.String("out", "", "write the JSON report to this file (empty = stdout only)")
+		basePath     = fs.String("baseline", "", "embed a previous run's report or measurement as the baseline")
+		quick        = fs.Bool("quick", false, "CI smoke budget: few evaluations, short runs")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *quick {
+		*evals = 4
+		*dynInstr = 3000
+		*loopSize = 150
+	}
+
+	levels, err := parseParallel(*parallelList)
+	if err != nil {
+		return err
+	}
+
+	wl := Workload{
+		Core:                string(platform.LargeCore),
+		Space:               "stress",
+		DynamicInstructions: *dynInstr,
+		LoopSize:            *loopSize,
+		Evaluations:         *evals,
+		Seed:                *seed,
+	}
+
+	m := Measurement{GoMaxProcs: runtime.GOMAXPROCS(0), GoVersion: runtime.Version()}
+
+	// Throughput: the stress single-core workload — distinct StressSpace
+	// configurations synthesized and simulated with power collection, the
+	// exact unit of work inside a power-virus tuning epoch.
+	cfgs := sampleConfigs(knobs.StressSpace(), *evals, *seed)
+	for _, workers := range levels {
+		secs, err := measureThroughput(cfgs, wl, workers)
+		if err != nil {
+			return err
+		}
+		m.Throughput = append(m.Throughput, ThroughputPoint{
+			Parallel:           workers,
+			Seconds:            secs,
+			EvalsPerSec:        float64(len(cfgs)) / secs,
+			InstructionsPerSec: float64(len(cfgs)) * float64(*dynInstr) / secs,
+		})
+		fmt.Fprintf(out, "throughput -parallel %d: %.2f evals/sec (%.3g instrs/sec)\n",
+			workers, float64(len(cfgs))/secs, float64(len(cfgs))*float64(*dynInstr)/secs)
+	}
+
+	// Chip-trace aggregation cost.
+	st, err := measureSumTraces(wl)
+	if err != nil {
+		return err
+	}
+	m.SumTraces = st
+	fmt.Fprintf(out, "sum_traces (%d cores, %d windows): %.0f ns/call\n", st.Cores, st.Windows, st.NSPerCall)
+
+	// Memo behaviour: evaluate the batch twice through the memoized stack;
+	// the second pass must be all hits.
+	em, sm, err := measureMemo(cfgs, wl)
+	if err != nil {
+		return err
+	}
+	m.EvalMemo, m.SynthMemo = em, sm
+	fmt.Fprintf(out, "eval memo: %d hits / %d misses; synth memo: %d hits / %d misses\n",
+		em.Hits, em.Misses, sm.Hits, sm.Misses)
+
+	rep := Report{PR: *prNum, Workload: wl, Current: m}
+	if *basePath != "" {
+		base, err := loadBaseline(*basePath)
+		if err != nil {
+			return err
+		}
+		rep.Baseline = base
+		if cur, ok := evalsPerSecAt(m, 1); ok {
+			if old, ok := evalsPerSecAt(*base, 1); ok && old > 0 {
+				rep.SpeedupEvalsPerSec = cur / old
+			}
+		}
+	}
+
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	if *outPath != "" {
+		if err := os.WriteFile(*outPath, blob, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s\n", *outPath)
+	} else {
+		out.Write(blob)
+	}
+	if rep.SpeedupEvalsPerSec > 0 {
+		fmt.Fprintf(out, "speedup over baseline (evals/sec, -parallel 1): %.2fx\n", rep.SpeedupEvalsPerSec)
+	}
+	return nil
+}
+
+// parseParallel expands the -parallel list; empty means "1,2,N".
+func parseParallel(s string) ([]int, error) {
+	if s == "" {
+		n := runtime.GOMAXPROCS(0)
+		levels := []int{1}
+		if n >= 2 {
+			levels = append(levels, 2)
+		}
+		if n > 2 {
+			levels = append(levels, n)
+		}
+		return levels, nil
+	}
+	var levels []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("bad -parallel entry %q", part)
+		}
+		levels = append(levels, v)
+	}
+	return levels, nil
+}
+
+// sampleConfigs draws n distinct configurations deterministically.
+func sampleConfigs(space *knobs.Space, n int, seed int64) []knobs.Config {
+	rng := rand.New(rand.NewSource(seed))
+	seen := map[string]bool{}
+	cfgs := make([]knobs.Config, 0, n)
+	for len(cfgs) < n {
+		cfg := space.RandomConfig(rng)
+		if key := cfg.Key(); !seen[key] {
+			seen[key] = true
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	return cfgs
+}
+
+// stressEvaluator builds the per-worker evaluation function of the stress
+// workload: one EvalSession per worker around a Large-core platform, all
+// sharing the returned kernel-synthesis memo, simulating with power
+// collection — the exact request path tuners use.
+func stressEvaluator(wl Workload) (func() (sched.EvalFunc, error), *microprobe.CachingSynthesizer) {
+	syn := microprobe.NewCachingSynthesizer(microprobe.Options{LoopSize: wl.LoopSize, Seed: wl.Seed})
+	opts := platform.EvalOptions{DynamicInstructions: wl.DynamicInstructions, Seed: wl.Seed, CollectPower: true}
+	return func() (sched.EvalFunc, error) {
+		plat, err := platform.NewSimPlatform(platform.Large())
+		if err != nil {
+			return nil, err
+		}
+		session := platform.NewEvalSession(plat, syn)
+		return func(cfg knobs.Config) (metrics.Vector, error) {
+			resp, err := session.Evaluate(platform.EvalRequest{Name: "mgperf", Config: cfg, Options: opts})
+			return resp.Metrics, err
+		}, nil
+	}, syn
+}
+
+// measureThroughput times one pass over the configuration batch at the given
+// worker count and returns the wall-clock seconds.
+func measureThroughput(cfgs []knobs.Config, wl Workload, workers int) (float64, error) {
+	newEval, _ := stressEvaluator(wl)
+	if workers <= 1 {
+		eval, err := newEval()
+		if err != nil {
+			return 0, err
+		}
+		start := time.Now()
+		for _, cfg := range cfgs {
+			if _, err := eval(cfg); err != nil {
+				return 0, err
+			}
+		}
+		return time.Since(start).Seconds(), nil
+	}
+	pe, err := sched.NewParallelEvaluator(workers, newEval)
+	if err != nil {
+		return 0, err
+	}
+	start := time.Now()
+	if _, err := pe.EvaluateBatch(context.Background(), cfgs); err != nil {
+		return 0, err
+	}
+	return time.Since(start).Seconds(), nil
+}
+
+// measureSumTraces simulates two co-running cores once and times the chip
+// aggregation of their traces.
+func measureSumTraces(wl Workload) (SumTracesCost, error) {
+	syn := microprobe.NewSynthesizer(microprobe.Options{LoopSize: wl.LoopSize, Seed: wl.Seed})
+	cfg := knobs.StressSpace().MidConfig()
+	prog, err := syn.Synthesize("mgperf-sum", cfg)
+	if err != nil {
+		return SumTracesCost{}, err
+	}
+	traces := make([]powersim.PowerTrace, 2)
+	for i := range traces {
+		plat, err := platform.NewSimPlatform(platform.Large())
+		if err != nil {
+			return SumTracesCost{}, err
+		}
+		resp, err := plat.EvaluateRequest(platform.EvalRequest{
+			Programs: []*program.Program{prog},
+			Options:  platform.EvalOptions{DynamicInstructions: wl.DynamicInstructions, Seed: wl.Seed + int64(i)},
+			Detail:   platform.DetailTrace,
+		})
+		if err != nil {
+			return SumTracesCost{}, err
+		}
+		traces[i] = resp.Trace
+	}
+	windowNS := float64(platform.DefaultWindowCycles) / 2.0
+	const reps = 200
+	start := time.Now()
+	for i := 0; i < reps; i++ {
+		if _, err := powersim.SumTracesTime(windowNS, nil, traces...); err != nil {
+			return SumTracesCost{}, err
+		}
+	}
+	elapsed := time.Since(start)
+	perCall := float64(elapsed.Nanoseconds()) / reps
+	return SumTracesCost{
+		Cores:       len(traces),
+		Windows:     len(traces[0].Points),
+		NSPerCall:   perCall,
+		CallsPerSec: 1e9 / perCall,
+	}, nil
+}
+
+// measureMemo exercises both memo layers on a bounded slice of the batch:
+// two passes through the memoizing evaluator (the second must be all
+// evaluation-memo hits, and never reaches the synthesizer), then one pass
+// straight through the session (all synthesis-memo hits).
+func measureMemo(cfgs []knobs.Config, wl Workload) (MemoCounters, MemoCounters, error) {
+	if len(cfgs) > 16 {
+		cfgs = cfgs[:16]
+	}
+	newEval, syn := stressEvaluator(wl)
+	eval, err := newEval()
+	if err != nil {
+		return MemoCounters{}, MemoCounters{}, err
+	}
+	memo := tuner.NewMemoizingEvaluator(tuner.EvaluatorFunc(eval))
+	ctx := context.Background()
+	for pass := 0; pass < 2; pass++ {
+		if _, err := tuner.EvaluateAll(ctx, memo, cfgs); err != nil {
+			return MemoCounters{}, MemoCounters{}, err
+		}
+	}
+	// A direct pass (no evaluation memo in front) re-requests every kernel
+	// from the synthesis memo.
+	for _, cfg := range cfgs {
+		if _, err := eval(cfg); err != nil {
+			return MemoCounters{}, MemoCounters{}, err
+		}
+	}
+	em := MemoCounters{Hits: memo.Hits(), Misses: memo.Misses()}
+	sh, sm := syn.Stats()
+	return em, MemoCounters{Hits: sh, Misses: sm}, nil
+}
+
+// loadBaseline reads a previous report (or bare measurement) as the baseline.
+func loadBaseline(path string) (*Measurement, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(blob, &rep); err == nil && len(rep.Current.Throughput) > 0 {
+		return &rep.Current, nil
+	}
+	var m Measurement
+	if err := json.Unmarshal(blob, &m); err != nil {
+		return nil, fmt.Errorf("parsing baseline %s: %w", path, err)
+	}
+	return &m, nil
+}
+
+// evalsPerSecAt returns the measured evaluations/sec at one worker count.
+func evalsPerSecAt(m Measurement, parallel int) (float64, bool) {
+	for _, p := range m.Throughput {
+		if p.Parallel == parallel {
+			return p.EvalsPerSec, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,126 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"micrograd/internal/knobs"
+)
+
+// TestRunQuickWritesReport drives the harness end to end in quick mode and
+// validates the BENCH_<n>.json document it writes.
+func TestRunQuickWritesReport(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bench.json")
+	var out bytes.Buffer
+	if err := run([]string{"-quick", "-parallel", "1", "-pr", "6", "-out", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(blob, &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if rep.PR != 6 {
+		t.Errorf("pr = %d", rep.PR)
+	}
+	if len(rep.Current.Throughput) != 1 || rep.Current.Throughput[0].EvalsPerSec <= 0 {
+		t.Errorf("bad throughput: %+v", rep.Current.Throughput)
+	}
+	if rep.Current.SumTraces.NSPerCall <= 0 || rep.Current.SumTraces.Cores != 2 {
+		t.Errorf("bad sum_traces: %+v", rep.Current.SumTraces)
+	}
+	if rep.Current.EvalMemo.Hits == 0 || rep.Current.EvalMemo.Misses == 0 {
+		t.Errorf("evaluation memo never exercised: %+v", rep.Current.EvalMemo)
+	}
+	if rep.Current.SynthMemo.Hits == 0 || rep.Current.SynthMemo.Misses == 0 {
+		t.Errorf("synthesis memo never exercised: %+v", rep.Current.SynthMemo)
+	}
+
+	// A second run against the first as baseline embeds it and records the
+	// serial-path speedup.
+	second := filepath.Join(dir, "bench2.json")
+	if err := run([]string{"-quick", "-parallel", "1", "-out", second, "-baseline", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	blob, err = os.ReadFile(second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep2 Report
+	if err := json.Unmarshal(blob, &rep2); err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Baseline == nil || rep2.SpeedupEvalsPerSec <= 0 {
+		t.Errorf("baseline not embedded: baseline=%v speedup=%v", rep2.Baseline, rep2.SpeedupEvalsPerSec)
+	}
+
+	// A bare Measurement is also accepted as a baseline.
+	bare := filepath.Join(dir, "bare.json")
+	mblob, err := json.Marshal(rep.Current)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(bare, mblob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if m, err := loadBaseline(bare); err != nil || len(m.Throughput) == 0 {
+		t.Errorf("bare measurement baseline rejected: %v %+v", err, m)
+	}
+}
+
+func TestParseParallel(t *testing.T) {
+	got, err := parseParallel("1, 4,8")
+	if err != nil || !reflect.DeepEqual(got, []int{1, 4, 8}) {
+		t.Errorf("parseParallel = %v, %v", got, err)
+	}
+	if _, err := parseParallel("0"); err == nil {
+		t.Error("non-positive worker count should be rejected")
+	}
+	if _, err := parseParallel("x"); err == nil {
+		t.Error("non-numeric worker count should be rejected")
+	}
+	def, err := parseParallel("")
+	if err != nil || len(def) == 0 || def[0] != 1 {
+		t.Errorf("default levels = %v, %v", def, err)
+	}
+	if n := runtime.GOMAXPROCS(0); n > 2 && def[len(def)-1] != n {
+		t.Errorf("default levels %v should end at GOMAXPROCS %d", def, n)
+	}
+}
+
+func TestSampleConfigsDistinctAndDeterministic(t *testing.T) {
+	a := sampleConfigs(knobs.StressSpace(), 6, 3)
+	b := sampleConfigs(knobs.StressSpace(), 6, 3)
+	if len(a) != 6 {
+		t.Fatalf("want 6 configs, got %d", len(a))
+	}
+	seen := map[string]bool{}
+	for i := range a {
+		if a[i].Key() != b[i].Key() {
+			t.Errorf("config %d differs across same-seed samples", i)
+		}
+		if seen[a[i].Key()] {
+			t.Errorf("config %d is a duplicate", i)
+		}
+		seen[a[i].Key()] = true
+	}
+}
+
+func TestEvalsPerSecAt(t *testing.T) {
+	m := Measurement{Throughput: []ThroughputPoint{{Parallel: 1, EvalsPerSec: 10}, {Parallel: 4, EvalsPerSec: 30}}}
+	if v, ok := evalsPerSecAt(m, 4); !ok || v != 30 {
+		t.Errorf("evalsPerSecAt(4) = %v, %v", v, ok)
+	}
+	if _, ok := evalsPerSecAt(m, 2); ok {
+		t.Error("missing level should not be found")
+	}
+}

@@ -44,18 +44,22 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		// One reusable session per core sweep: kernels are synthesized (and
+		// memoized) from the configuration inside the request.
+		session := micrograd.NewEvalSession(plat, 300, 1)
 		fmt.Printf("=== %s core: IPC and cache behaviour vs working-set size ===\n", coreName)
 		fmt.Printf("%10s %8s %10s %10s %10s\n", "MEM_SIZE", "ipc", "l1d_hit", "l2_hit", "verdict")
 		for i := 0; i < memDef.NumValues(); i++ {
 			cfg := base.WithIndex(knobIdx, i)
-			prog, err := micrograd.Synthesize("bottleneck", cfg, 300, 1)
+			resp, err := session.Evaluate(micrograd.EvalRequest{
+				Name:    "bottleneck",
+				Config:  cfg,
+				Options: micrograd.EvalOptions{DynamicInstructions: 20000, Seed: 1},
+			})
 			if err != nil {
 				log.Fatal(err)
 			}
-			v, err := plat.Evaluate(prog, micrograd.EvalOptions{DynamicInstructions: 20000, Seed: 1})
-			if err != nil {
-				log.Fatal(err)
-			}
+			v := resp.Metrics
 			verdict := "cache resident"
 			switch {
 			case v["l2_hit_rate"] < 0.6 && v["l1d_hit_rate"] < 0.8:

@@ -135,10 +135,20 @@ func Clone(ctx context.Context, name string, target metrics.Vector, opts Options
 	}
 
 	// The synthesizer is pure per call (it derives a fresh RNG from its
-	// fixed seed), so one instance is shared by every worker; platforms are
-	// stateful and get one instance per worker.
+	// fixed seed), so one memoizing instance is shared by every worker;
+	// platforms are stateful and get one session per worker.
 	syn := microprobe.NewSynthesizer(microprobe.Options{LoopSize: opts.LoopSize, Seed: opts.Seed})
+	csyn := microprobe.NewCachingSynthesizer(microprobe.Options{LoopSize: opts.LoopSize, Seed: opts.Seed})
 	synthEval := func(plat platform.Platform) sched.EvalFunc {
+		if re, ok := plat.(platform.RequestEvaluator); ok {
+			session := platform.NewEvalSession(re, csyn)
+			return func(cfg knobs.Config) (metrics.Vector, error) {
+				resp, err := session.Evaluate(platform.EvalRequest{
+					Name: "clone-" + name, Config: cfg, Options: opts.EvalOptions,
+				})
+				return resp.Metrics, err
+			}
+		}
 		return func(cfg knobs.Config) (metrics.Vector, error) {
 			p, err := syn.Synthesize("clone-"+name, cfg)
 			if err != nil {
@@ -247,7 +257,15 @@ func CloneSimpoints(ctx context.Context, bm workloads.Benchmark, opts Options) (
 		if err != nil {
 			return nil, err
 		}
-		target, err := o.Platform.Evaluate(prog, o.EvalOptions)
+		var target metrics.Vector
+		if re, ok := o.Platform.(platform.RequestEvaluator); ok {
+			resp, rerr := re.EvaluateRequest(platform.EvalRequest{
+				Programs: []*program.Program{prog}, Options: o.EvalOptions,
+			})
+			target, err = resp.Metrics, rerr
+		} else {
+			target, err = o.Platform.Evaluate(prog, o.EvalOptions)
+		}
 		if err != nil {
 			return nil, fmt.Errorf("cloning: measuring %s/%s: %w", bm.Name, ph.Name, err)
 		}

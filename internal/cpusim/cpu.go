@@ -12,6 +12,12 @@
 // thousands of evaluations while preserving the sensitivities that MicroGrad's
 // knobs exercise: instruction mix, dependency distance, memory locality and
 // branch predictability.
+//
+// A CPU owns reusable per-run scratch — the scoreboard ring buffers, the
+// window accumulators, the trace expander and a per-program predecode table —
+// so that back-to-back Run calls (the shape of every tuning loop) allocate
+// almost nothing and never touch the isa descriptor table on the per-
+// instruction hot path.
 package cpusim
 
 import (
@@ -114,10 +120,13 @@ type Result struct {
 	Instructions uint64
 	// Cycles is the number of cycles the run took.
 	Cycles uint64
-	// ClassCounts counts dynamic instructions per class.
-	ClassCounts map[isa.Class]uint64
-	// UnitOps counts operations issued per functional unit kind.
-	UnitOps map[isa.UnitKind]uint64
+	// ClassCounts counts dynamic instructions per class, indexed by
+	// isa.Class. It is a fixed-size array (not a map) so results carry no
+	// per-run allocations and iterate in deterministic class order.
+	ClassCounts [isa.NumClasses]uint64
+	// UnitOps counts operations issued per functional unit kind, indexed by
+	// isa.UnitKind.
+	UnitOps [isa.NumUnitKinds]uint64
 	// L1I, L1D, L2 are the cache statistics of the run.
 	L1I, L1D, L2 memsim.Stats
 	// DTLB holds the data-TLB statistics (zero when the hierarchy has no TLB).
@@ -159,11 +168,42 @@ func (r Result) ClassFraction(c isa.Class) float64 {
 	return float64(r.ClassCounts[c]) / float64(r.Instructions)
 }
 
+// staticOp is the predecoded form of one static instruction: the descriptor
+// fields the scoreboard needs, flattened so the hot loop never copies
+// program.Instruction or isa.Descriptor values.
+type staticOp struct {
+	latency  uint64
+	srcs     [2]uint16
+	dest     uint16
+	numSrcs  uint8
+	class    isa.Class
+	unit     isa.UnitKind
+	isMem    bool
+	isStore  bool
+	isCondBr bool
+	hasDest  bool
+	// longOp marks non-pipelined operations (DIV, FDIVD) that occupy their
+	// unit for the full latency.
+	longOp bool
+}
+
 // CPU ties a core configuration to its cache hierarchy and branch predictor.
+// It owns reusable per-run scratch, so a CPU (like the hierarchy and the
+// predictor it wraps) is not safe for concurrent use.
 type CPU struct {
 	cfg  Config
 	mem  *memsim.Hierarchy
 	pred *branchsim.Predictor
+
+	// Per-run scratch, reset by Run.
+	st coreState
+	wt windowTracker
+
+	// Predecode table of the most recent program; rebuilt when the program
+	// identity or static length changes.
+	ops      []staticOp
+	lastProg *program.Program
+	lastLen  int
 }
 
 // New builds a CPU. The hierarchy and predictor are owned by the CPU for the
@@ -175,62 +215,112 @@ func New(cfg Config, mem *memsim.Hierarchy, pred *branchsim.Predictor) (*CPU, er
 	if mem == nil || pred == nil {
 		return nil, fmt.Errorf("cpusim: nil memory hierarchy or branch predictor")
 	}
-	return &CPU{cfg: cfg, mem: mem, pred: pred}, nil
+	c := &CPU{cfg: cfg, mem: mem, pred: pred}
+	c.st.init(cfg)
+	c.wt.init(uint64(cfg.WindowCycles))
+	return c, nil
 }
 
 // Config returns the core configuration.
 func (c *CPU) Config() Config { return c.cfg }
 
+// predecode (re)builds the static-instruction table for p.
+func (c *CPU) predecode(p *program.Program) {
+	n := len(p.Instructions)
+	if cap(c.ops) < n {
+		c.ops = make([]staticOp, n)
+	}
+	c.ops = c.ops[:n]
+	for i := range p.Instructions {
+		in := &p.Instructions[i]
+		d := isa.Describe(in.Op)
+		op := &c.ops[i]
+		*op = staticOp{
+			latency:  uint64(d.Latency),
+			dest:     uint16(in.Dest.ID()),
+			numSrcs:  uint8(in.NumSrcs),
+			class:    d.Class,
+			unit:     d.Unit,
+			isMem:    d.Class == isa.ClassLoad || d.Class == isa.ClassStore,
+			isStore:  d.Class == isa.ClassStore,
+			isCondBr: d.IsCondBr,
+			hasDest:  d.HasDest,
+			longOp:   in.Op == isa.DIV || in.Op == isa.FDIVD,
+		}
+		for s := 0; s < in.NumSrcs && s < len(in.Srcs); s++ {
+			op.srcs[s] = uint16(in.Srcs[s].ID())
+		}
+	}
+	c.lastProg = p
+	c.lastLen = n
+}
+
 // Run simulates dynInstrs dynamic instructions of the program and returns the
 // collected statistics. The seed drives the trace expander's stochastic
 // branch directions; the timing model itself is deterministic.
 func (c *CPU) Run(p *program.Program, dynInstrs int, seed int64) (Result, error) {
-	if err := p.Validate(); err != nil {
-		return Result{}, fmt.Errorf("cpusim: invalid program: %w", err)
-	}
+	return c.run(p, dynInstrs, seed, false)
+}
+
+// RunShared is Run with the returned Result's Windows aliasing the CPU's
+// reusable scratch: the slice is valid only until the next Run/RunShared
+// call. Metrics-only evaluation paths use it to skip the per-run copy of the
+// window sequence; callers that hand the Result out must use Run.
+func (c *CPU) RunShared(p *program.Program, dynInstrs int, seed int64) (Result, error) {
+	return c.run(p, dynInstrs, seed, true)
+}
+
+func (c *CPU) run(p *program.Program, dynInstrs int, seed int64, sharedWindows bool) (Result, error) {
 	if dynInstrs <= 0 {
 		return Result{}, fmt.Errorf("cpusim: non-positive dynamic instruction count %d", dynInstrs)
 	}
 	c.mem.Reset()
 	c.pred.Reset()
-
-	res := Result{
-		ClassCounts: make(map[isa.Class]uint64, isa.NumClasses),
-		UnitOps:     make(map[isa.UnitKind]uint64, isa.NumUnitKinds),
-		Config:      c.cfg,
-	}
-
-	exp := trace.NewExpander(p, seed)
-	st := newCoreState(c.cfg)
-
-	// Dense counters keep the per-instruction loop off the map hot path.
-	var classCounts [isa.NumClasses]uint64
-	var unitOps [isa.NumUnitKinds]uint64
-
-	var wt *windowTracker
-	if c.cfg.WindowCycles > 0 {
-		wt = newWindowTracker(uint64(c.cfg.WindowCycles))
-	}
-
-	for i := 0; i < dynInstrs; i++ {
-		entry := exp.Next()
-		in := p.Instructions[entry.Static]
-		d := isa.Describe(in.Op)
-		classCounts[d.Class]++
-		unitOps[d.Unit]++
-		ev := c.step(st, in, d, entry)
-		if wt != nil {
-			wt.observe(ev, d.Class)
+	// A program already predecoded by this CPU was validated then; only new
+	// programs pay the validation walk.
+	if c.lastProg != p || c.lastLen != len(p.Instructions) {
+		if err := p.Validate(); err != nil {
+			return Result{}, fmt.Errorf("cpusim: invalid program: %w", err)
 		}
+		c.predecode(p)
 	}
-	for cl, n := range classCounts {
-		if n > 0 {
-			res.ClassCounts[isa.Class(cl)] = n
+
+	res := Result{Config: c.cfg}
+
+	exp := trace.Reuse(&c.st.exp, p, seed)
+	st := &c.st
+	st.reset()
+
+	windowed := c.cfg.WindowCycles > 0
+	wt := &c.wt
+	if windowed {
+		wt.reset()
+	}
+
+	// Hoisted per-run constants: the hierarchy configuration never changes
+	// mid-run, and the L2 counters are read through cheap accessors instead
+	// of whole-struct snapshots.
+	l1iHitLat := c.mem.Config().L1I.HitLatency
+	l2 := c.mem.L2()
+
+	// In the windowed case the per-class totals are recovered by summing the
+	// window counts after the run (observe already attributes every
+	// instruction to a window), saving one counter update per instruction.
+	var entry trace.Entry
+	if windowed {
+		for i := 0; i < dynInstrs; i++ {
+			exp.NextInto(&entry)
+			op := &c.ops[entry.Static]
+			res.UnitOps[op.unit]++
+			wt.observe(c.step(st, op, &entry, l1iHitLat), op.class)
 		}
-	}
-	for u, n := range unitOps {
-		if n > 0 {
-			res.UnitOps[isa.UnitKind(u)] = n
+	} else {
+		for i := 0; i < dynInstrs; i++ {
+			exp.NextInto(&entry)
+			op := &c.ops[entry.Static]
+			res.ClassCounts[op.class]++
+			res.UnitOps[op.unit]++
+			c.step(st, op, &entry, l1iHitLat)
 		}
 	}
 
@@ -241,12 +331,18 @@ func (c *CPU) Run(p *program.Program, dynInstrs int, seed int64) (Result, error)
 	}
 	res.L1I = c.mem.L1I().Stats()
 	res.L1D = c.mem.L1D().Stats()
-	res.L2 = c.mem.L2().Stats()
+	res.L2 = l2.Stats()
 	res.DTLB = c.mem.DTLB().Stats()
 	res.Branch = c.pred.Stats()
 	res.MemAccesses = res.L2.Misses
-	if wt != nil {
-		res.Windows = wt.finish(st.lastRetire)
+	if windowed {
+		res.Windows = wt.finish(st.lastRetire, sharedWindows)
+		for i := range res.Windows {
+			w := &res.Windows[i]
+			for cl, n := range w.ClassCounts {
+				res.ClassCounts[cl] += n
+			}
+		}
 	}
 	return res, nil
 }
@@ -262,20 +358,39 @@ type stepEvents struct {
 // windowTracker accumulates per-window activity during a run. Attribution is
 // by completion cycle, which is not monotonic across instructions (a ready
 // ALU operation completes while an older divide chain is still executing),
-// so windows are kept addressable until the run ends.
+// so windows are kept addressable until the run ends. The wins scratch is
+// reused across runs; finish copies the windows into a fresh slice because
+// the Result escapes the CPU.
 type windowTracker struct {
 	size uint64
-	wins []Window
+	// shift is the power-of-two shortcut for the per-instruction division
+	// (size == 1<<shift); 0 when size is not a power of two.
+	shift uint
+	pow2  bool
+	wins  []Window
 }
 
-func newWindowTracker(size uint64) *windowTracker {
-	return &windowTracker{size: size}
+func (w *windowTracker) init(size uint64) {
+	w.size = size
+	if size > 0 && size&(size-1) == 0 {
+		w.pow2 = true
+		for s := size; s > 1; s >>= 1 {
+			w.shift++
+		}
+	}
 }
+
+func (w *windowTracker) reset() { w.wins = w.wins[:0] }
 
 // observe attributes one instruction and its events to the window containing
 // its completion cycle.
 func (w *windowTracker) observe(ev stepEvents, class isa.Class) {
-	idx := int((ev.complete - 1) / w.size)
+	var idx int
+	if w.pow2 {
+		idx = int((ev.complete - 1) >> w.shift)
+	} else {
+		idx = int((ev.complete - 1) / w.size)
+	}
 	for len(w.wins) <= idx {
 		w.wins = append(w.wins, Window{})
 	}
@@ -290,8 +405,10 @@ func (w *windowTracker) observe(ev stepEvents, class isa.Class) {
 }
 
 // finish sizes the window sequence to cover the whole run and fills in the
-// window lengths (the final window may be partial).
-func (w *windowTracker) finish(lastRetire uint64) []Window {
+// window lengths (the final window may be partial). It returns the scratch
+// itself when shared is set (valid until the next run) and a copy that is
+// safe to hand out otherwise.
+func (w *windowTracker) finish(lastRetire uint64, shared bool) []Window {
 	if lastRetire == 0 {
 		return nil
 	}
@@ -305,12 +422,21 @@ func (w *windowTracker) finish(lastRetire uint64) []Window {
 	if tail := lastRetire - uint64(n-1)*w.size; tail > 0 {
 		w.wins[n-1].Cycles = tail
 	}
-	return w.wins
+	if shared {
+		return w.wins
+	}
+	out := make([]Window, len(w.wins))
+	copy(out, w.wins)
+	return out
 }
 
-// coreState is the per-run scoreboard.
+// coreState is the per-run scoreboard. It is embedded in the CPU and reset
+// between runs, so the ring buffers and unit timetables are allocated once.
 type coreState struct {
 	cfg Config
+
+	// exp is the reusable trace expander.
+	exp trace.Expander
 
 	// dispatchCycle is the cycle the next instruction dispatches in;
 	// dispatched counts instructions already dispatched that cycle.
@@ -345,8 +471,9 @@ type coreState struct {
 	prevRetire uint64
 }
 
-func newCoreState(cfg Config) *coreState {
-	st := &coreState{cfg: cfg, dispatchCycle: 1, fetchReady: 1}
+// init allocates the scoreboard's buffers once for a configuration.
+func (st *coreState) init(cfg Config) {
+	st.cfg = cfg
 	st.unitFree[isa.UnitALU] = make([]uint64, cfg.NumALU)
 	st.unitFree[isa.UnitMul] = make([]uint64, cfg.NumMul)
 	st.unitFree[isa.UnitFP] = make([]uint64, cfg.NumFP)
@@ -355,28 +482,64 @@ func newCoreState(cfg Config) *coreState {
 	st.rob = make([]uint64, cfg.ROBSize)
 	st.lsq = make([]uint64, cfg.LSQSize)
 	st.rse = make([]uint64, cfg.RSESize)
+	st.reset()
+}
+
+// reset returns the scoreboard to its start-of-run state.
+func (st *coreState) reset() {
+	st.dispatchCycle = 1
+	st.dispatched = 0
+	st.fetchReady = 1
+	for i := range st.regReady {
+		st.regReady[i] = 0
+	}
+	for u := range st.unitFree {
+		units := st.unitFree[u]
+		for i := range units {
+			units[i] = 0
+		}
+	}
+	zero(st.rob)
+	zero(st.lsq)
+	zero(st.rse)
+	st.robPos, st.lsqPos, st.rsePos = 0, 0, 0
+	st.lastRetire = 0
+	st.prevRetire = 0
+}
+
+func zero(s []uint64) {
+	for i := range s {
+		s[i] = 0
+	}
+}
+
+// newCoreState builds a standalone scoreboard (kept for tests).
+func newCoreState(cfg Config) *coreState {
+	st := &coreState{}
+	st.init(cfg)
 	return st
 }
 
 // step advances the scoreboard by one dynamic instruction and reports the
 // instruction's completion cycle and energy-relevant events.
-func (c *CPU) step(st *coreState, in program.Instruction, d isa.Descriptor, entry trace.Entry) stepEvents {
-	cfg := st.cfg
+func (c *CPU) step(st *coreState, op *staticOp, entry *trace.Entry, l1iHitLat int) stepEvents {
+	cfg := &st.cfg
 	var ev stepEvents
-	memCfg := c.mem.Config()
 
 	// Front end: instruction fetch through the I-cache. A miss delays
 	// delivery of this (and following) instructions. Like the data path
-	// below, L2/memory events are read off the cache statistics, keeping the
-	// window attribution exact for any hierarchy configuration.
-	l2Before := c.mem.L2().Stats()
-	fetchLat := c.mem.AccessInstr(entry.PC)
-	if extra := fetchLat - memCfg.L1I.HitLatency; extra > 0 {
-		st.fetchReady += uint64(extra)
+	// below, L2/memory events are reported by the hierarchy itself, keeping
+	// the window attribution exact for any hierarchy configuration. A fetch
+	// to the same line as the previous one (the common sequential case) is
+	// an L1I hit by construction and takes the inlined fast path.
+	if !c.mem.FastFetchHit(entry.PC) {
+		fetchLat, fL2, fMem := c.mem.AccessInstrEv(entry.PC)
+		if extra := fetchLat - l1iHitLat; extra > 0 {
+			st.fetchReady += uint64(extra)
+		}
+		ev.l2 = fL2
+		ev.mem = fMem
 	}
-	l2After := c.mem.L2().Stats()
-	ev.l2 += uint8(l2After.Accesses - l2Before.Accesses + l2After.Prefetches - l2Before.Prefetches)
-	ev.mem += uint8(l2After.Misses - l2Before.Misses)
 
 	// Dispatch: bounded by front-end width, fetch availability, and window
 	// occupancy (ROB / RSE, plus LSQ for memory operations).
@@ -396,7 +559,7 @@ func (c *CPU) step(st *coreState, in program.Instruction, d isa.Descriptor, entr
 		st.dispatchCycle = dispatch
 		st.dispatched = 0
 	}
-	if d.Class == isa.ClassLoad || d.Class == isa.ClassStore {
+	if op.isMem {
 		if oldest := st.lsq[st.lsqPos]; oldest > dispatch {
 			dispatch = oldest
 			st.dispatchCycle = dispatch
@@ -406,52 +569,52 @@ func (c *CPU) step(st *coreState, in program.Instruction, d isa.Descriptor, entr
 
 	// Issue: wait for sources and a free functional unit.
 	ready := dispatch
-	for s := 0; s < in.NumSrcs; s++ {
-		if r := st.regReady[in.Srcs[s].ID()]; r > ready {
+	for s := uint8(0); s < op.numSrcs; s++ {
+		if r := st.regReady[op.srcs[s]]; r > ready {
 			ready = r
 		}
 	}
 	issue := ready
-	if units := st.unitFree[d.Unit]; len(units) > 0 {
+	if units := st.unitFree[op.unit]; len(units) > 0 {
 		best := 0
+		bestFree := units[0]
 		for u := 1; u < len(units); u++ {
-			if units[u] < units[best] {
+			if units[u] < bestFree {
 				best = u
+				bestFree = units[u]
 			}
 		}
-		if units[best] > issue {
-			issue = units[best]
+		if bestFree > issue {
+			issue = bestFree
 		}
 		// Pipelined units accept one operation per cycle; long-latency
 		// dividers block their unit for the full latency.
 		occupancy := uint64(1)
-		if in.Op == isa.DIV || in.Op == isa.FDIVD {
-			occupancy = uint64(d.Latency)
+		if op.longOp {
+			occupancy = op.latency
 		}
-		st.unitFree[d.Unit][best] = issue + occupancy
+		units[best] = issue + occupancy
 	}
 
 	// Execute: latency is the opcode latency, or the cache latency for
-	// memory operations. L2/memory events are read off the cache statistics
+	// memory operations. L2/memory events are read off the cache counters
 	// rather than inferred from latency (a DTLB miss penalty would otherwise
 	// masquerade as an L2 access); prefetch fills are charged to the access
 	// that triggered them. Both keep windowed energy reconciled with the
 	// aggregate model exactly.
-	latency := uint64(d.Latency)
-	if d.Class == isa.ClassLoad || d.Class == isa.ClassStore {
-		l2Before = c.mem.L2().Stats()
-		dataLat := c.mem.AccessData(entry.Addr, d.Class == isa.ClassStore)
+	latency := op.latency
+	if op.isMem {
+		dataLat, dL2, dMem, dPref := c.mem.AccessDataEv(entry.Addr, op.isStore)
 		latency = uint64(dataLat)
-		l2After = c.mem.L2().Stats()
-		ev.l2 += uint8(l2After.Accesses - l2Before.Accesses + l2After.Prefetches - l2Before.Prefetches)
-		ev.mem += uint8(l2After.Misses - l2Before.Misses)
+		ev.l2 += dL2 + dPref
+		ev.mem += dMem
 	}
 	complete := issue + latency
 	ev.complete = complete
 
 	// Branch resolution: a mispredicted conditional branch stalls the front
 	// end until it resolves plus the refill penalty.
-	if d.IsCondBr {
+	if op.isCondBr {
 		if c.pred.Predict(entry.PC, entry.Taken) {
 			ev.mispredict = true
 			redirect := complete + uint64(cfg.MispredictPenalty)
@@ -462,8 +625,8 @@ func (c *CPU) step(st *coreState, in program.Instruction, d isa.Descriptor, entr
 	}
 
 	// Writeback.
-	if d.HasDest {
-		st.regReady[in.Dest.ID()] = complete
+	if op.hasDest {
+		st.regReady[op.dest] = complete
 	}
 
 	// Retire in order.
@@ -476,12 +639,21 @@ func (c *CPU) step(st *coreState, in program.Instruction, d isa.Descriptor, entr
 
 	// Window bookkeeping.
 	st.rob[st.robPos] = retire
-	st.robPos = (st.robPos + 1) % len(st.rob)
+	st.robPos++
+	if st.robPos == len(st.rob) {
+		st.robPos = 0
+	}
 	st.rse[st.rsePos] = issue
-	st.rsePos = (st.rsePos + 1) % len(st.rse)
-	if d.Class == isa.ClassLoad || d.Class == isa.ClassStore {
+	st.rsePos++
+	if st.rsePos == len(st.rse) {
+		st.rsePos = 0
+	}
+	if op.isMem {
 		st.lsq[st.lsqPos] = complete
-		st.lsqPos = (st.lsqPos + 1) % len(st.lsq)
+		st.lsqPos++
+		if st.lsqPos == len(st.lsq) {
+			st.lsqPos = 0
+		}
 	}
 
 	// Advance the dispatch slot within the front-end width.

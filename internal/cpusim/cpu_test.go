@@ -170,7 +170,7 @@ func TestResultBasics(t *testing.T) {
 	}
 	fracSum := 0.0
 	for c := range res.ClassCounts {
-		fracSum += res.ClassFraction(c)
+		fracSum += res.ClassFraction(isa.Class(c))
 	}
 	if fracSum < 0.999 || fracSum > 1.001 {
 		t.Errorf("class fractions sum to %v", fracSum)

@@ -166,17 +166,18 @@ func characterizeCoRun(spec multicore.CoRunSpec, corePar int, kind stress.Kind, 
 	if err != nil {
 		return nil, powersim.PowerTrace{}, err
 	}
-	syn := microprobe.NewSynthesizer(microprobe.Options{LoopSize: b.LoopSize, Seed: b.Seed})
-	progs, err := measure.SynthesizeCoRun(string(kind), cfg, syn)
-	if err != nil {
-		return nil, powersim.PowerTrace{}, err
-	}
-	evalOpts := platform.EvalOptions{DynamicInstructions: b.DynamicInstructions, Seed: b.Seed, CollectPower: true}
-	full, trace, err := measure.EvaluateCoRunDetailedAt(progs, multicore.FreqOverrides(cfg, len(spec.Cores)), evalOpts)
+	syn := microprobe.NewCachingSynthesizer(microprobe.Options{LoopSize: b.LoopSize, Seed: b.Seed})
+	session := platform.NewEvalSession(measure, syn)
+	resp, err := session.Evaluate(platform.EvalRequest{
+		Name:    string(kind),
+		Config:  cfg,
+		Options: platform.EvalOptions{DynamicInstructions: b.DynamicInstructions, Seed: b.Seed},
+		Detail:  platform.DetailTrace,
+	})
 	if err != nil {
 		return nil, powersim.PowerTrace{}, fmt.Errorf("experiments: characterizing %s: %w", kind, err)
 	}
-	return full, trace, nil
+	return resp.Metrics, resp.Trace, nil
 }
 
 // Series returns the progression series (co-run chip droop, plus the

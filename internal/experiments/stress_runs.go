@@ -181,14 +181,15 @@ func bruteForceReference(ctx context.Context, kind stress.Kind, core platform.Co
 		space = knobs.InstructionOnlySpace()
 		loss = metrics.StressLoss{Metric: metrics.IPC}
 	}
-	syn := microprobe.NewSynthesizer(microprobe.Options{LoopSize: b.LoopSize, Seed: b.Seed})
-	synthEval := func(plat platform.Platform) sched.EvalFunc {
+	// One memoizing synthesizer shared by every brute-force worker session.
+	csyn := microprobe.NewCachingSynthesizer(microprobe.Options{LoopSize: b.LoopSize, Seed: b.Seed})
+	synthEval := func(plat *platform.SimPlatform) sched.EvalFunc {
+		session := platform.NewEvalSession(plat, csyn)
 		return func(cfg knobs.Config) (metrics.Vector, error) {
-			p, err := syn.Synthesize("bruteforce-"+string(kind), cfg)
-			if err != nil {
-				return nil, err
-			}
-			return plat.Evaluate(p, evalOpts)
+			resp, err := session.Evaluate(platform.EvalRequest{
+				Name: "bruteforce-" + string(kind), Config: cfg, Options: evalOpts,
+			})
+			return resp.Metrics, err
 		}
 	}
 	var base tuner.Evaluator = tuner.EvaluatorFunc(synthEval(plat))

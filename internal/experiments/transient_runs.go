@@ -7,6 +7,7 @@ import (
 	"micrograd/internal/metrics"
 	"micrograd/internal/platform"
 	"micrograd/internal/powersim"
+	"micrograd/internal/program"
 	"micrograd/internal/report"
 	"micrograd/internal/sched"
 	"micrograd/internal/stress"
@@ -60,8 +61,10 @@ func RunStressKind(ctx context.Context, kind stress.Kind, coreName string, b Bud
 	if err != nil {
 		return StressKindRun{}, err
 	}
-	full, res, err := measure.EvaluateDetailed(rep.Program, platform.EvalOptions{
-		DynamicInstructions: b.DynamicInstructions, Seed: b.Seed, CollectPower: true,
+	resp, err := measure.EvaluateRequest(platform.EvalRequest{
+		Programs: []*program.Program{rep.Program},
+		Options:  platform.EvalOptions{DynamicInstructions: b.DynamicInstructions, Seed: b.Seed},
+		Detail:   platform.DetailTrace,
 	})
 	if err != nil {
 		return StressKindRun{}, fmt.Errorf("experiments: characterizing %s kernel: %w", kind, err)
@@ -70,8 +73,8 @@ func RunStressKind(ctx context.Context, kind stress.Kind, coreName string, b Bud
 		Kind:   kind,
 		Core:   core.Kind,
 		Report: rep,
-		Full:   full,
-		Trace:  measure.PowerTrace(res),
+		Full:   resp.Metrics,
+		Trace:  resp.Trace,
 	}, nil
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
 	"strings"
 
 	"micrograd/internal/isa"
@@ -17,6 +18,10 @@ import (
 type Config struct {
 	space *Space
 	idx   []int
+	// key is the canonical memo key, built once at construction so cache
+	// lookups (evaluation memo, synthesis memo) never re-serialize the
+	// index vector.
+	key string
 }
 
 // Space returns the space the configuration belongs to.
@@ -56,7 +61,7 @@ func (c Config) ValueByName(name string) (float64, bool) {
 
 // Clone returns a deep copy of the configuration.
 func (c Config) Clone() Config {
-	out := Config{space: c.space, idx: make([]int, len(c.idx))}
+	out := Config{space: c.space, idx: make([]int, len(c.idx)), key: c.key}
 	copy(out.idx, c.idx)
 	return out
 }
@@ -65,7 +70,7 @@ func (c Config) Clone() Config {
 func (c Config) WithIndex(i, v int) Config {
 	out := c.Clone()
 	out.idx[i] = c.space.defs[i].Clamp(v)
-	return out
+	return out.keyed()
 }
 
 // Step returns a copy of c with knob i moved by delta index positions
@@ -133,14 +138,32 @@ func (c Config) Values() map[string]float64 {
 }
 
 // Key returns a compact string key uniquely identifying the configuration
-// within its space. Useful for memoizing evaluation results.
+// within its space. Useful for memoizing evaluation results. The key is
+// canonicalized once at construction; Key only falls back to building it for
+// zero-value configurations.
 func (c Config) Key() string {
+	if c.key != "" || len(c.idx) == 0 {
+		return c.key
+	}
+	return buildKey(c.idx)
+}
+
+// keyed returns the configuration with its canonical key refreshed from the
+// current index vector. Every constructor and mutating copy ends with it.
+func (c Config) keyed() Config {
+	c.key = buildKey(c.idx)
+	return c
+}
+
+// buildKey serializes an index vector as the canonical comma-separated key.
+func buildKey(idx []int) string {
 	var b strings.Builder
-	for i, v := range c.idx {
+	b.Grow(3 * len(idx))
+	for i, v := range idx {
 		if i > 0 {
 			b.WriteByte(',')
 		}
-		fmt.Fprintf(&b, "%d", v)
+		b.WriteString(strconv.Itoa(v))
 	}
 	return b.String()
 }
@@ -279,6 +302,22 @@ func (s Settings) SortedOpcodes() []isa.Opcode {
 	}
 	sort.Slice(ops, func(i, j int) bool { return ops[i] < ops[j] })
 	return ops
+}
+
+// CanonicalKey serializes the settings into a deterministic string: two
+// settings produce the same key exactly when they synthesize the same kernel.
+// It deliberately covers every synthesis input (and nothing else), so
+// evaluation-time parameters — seeds, instruction budgets, clock overrides —
+// never fragment a synthesis memo keyed on it.
+func (s Settings) CanonicalKey() string {
+	var b strings.Builder
+	for _, op := range s.SortedOpcodes() {
+		fmt.Fprintf(&b, "%d:%g,", int(op), s.InstrWeights[op])
+	}
+	fmt.Fprintf(&b, "|rd=%d|fp=%d|st=%d|t1=%d|t2=%d|br=%g|dc=%g|bl=%d|po=%d",
+		s.RegDist, s.MemFootprintKB, s.MemStrideB, s.MemTemp1, s.MemTemp2,
+		s.BranchRandomRatio, s.DutyCycle, s.BurstLen, s.PhaseOffset)
+	return b.String()
 }
 
 // Validate checks the settings for internal consistency.

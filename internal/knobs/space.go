@@ -178,7 +178,7 @@ func (s *Space) Size() int64 {
 // NewConfig returns the configuration with every knob at index 0 (its
 // smallest value).
 func (s *Space) NewConfig() Config {
-	return Config{space: s, idx: make([]int, len(s.defs))}
+	return Config{space: s, idx: make([]int, len(s.defs))}.keyed()
 }
 
 // MidConfig returns the configuration with every knob at the middle of its
@@ -188,7 +188,7 @@ func (s *Space) MidConfig() Config {
 	for i, d := range s.defs {
 		c.idx[i] = d.NumValues() / 2
 	}
-	return c
+	return c.keyed()
 }
 
 // RandomConfig returns a configuration with every knob index drawn uniformly
@@ -198,7 +198,7 @@ func (s *Space) RandomConfig(rng *rand.Rand) Config {
 	for i, d := range s.defs {
 		c.idx[i] = rng.Intn(d.NumValues())
 	}
-	return c
+	return c.keyed()
 }
 
 // ConfigFromIndices builds a configuration from an explicit index vector.
@@ -211,7 +211,7 @@ func (s *Space) ConfigFromIndices(idx []int) (Config, error) {
 	for i, v := range idx {
 		c.idx[i] = s.defs[i].Clamp(v)
 	}
-	return c, nil
+	return c.keyed(), nil
 }
 
 // ConfigFromValues builds a configuration whose knobs take the nearest
@@ -226,5 +226,5 @@ func (s *Space) ConfigFromValues(values map[string]float64) (Config, error) {
 		}
 		c.idx[i] = s.defs[i].NearestIndex(v)
 	}
-	return c, nil
+	return c.keyed(), nil
 }

@@ -84,6 +84,18 @@ type Cache struct {
 	sets  [][]line
 	clock uint64
 	stats Stats
+	// setMask/lineShift are the power-of-two shortcuts for set indexing
+	// (both line size and set count are powers of two for every built-in
+	// configuration); setsPow2 falls back to division when the set count is
+	// not a power of two.
+	setsPow2  bool
+	setMask   uint64
+	setShift  uint
+	lineShift uint
+	// mru holds, per set, the way of the most recent hit or fill. It is a
+	// pure lookup hint — the fast path re-checks valid+tag — so it never
+	// changes hit/miss outcomes or LRU state, only skips the way scan.
+	mru []int32
 }
 
 // NewCache builds a cache from its configuration.
@@ -93,10 +105,21 @@ func NewCache(cfg CacheConfig) (*Cache, error) {
 	}
 	c := &Cache{cfg: cfg}
 	numSets := cfg.NumSets()
+	c.mru = make([]int32, numSets)
 	c.sets = make([][]line, numSets)
 	backing := make([]line, numSets*cfg.Assoc)
 	for i := range c.sets {
 		c.sets[i] = backing[i*cfg.Assoc : (i+1)*cfg.Assoc]
+	}
+	for v := cfg.LineBytes; v > 1; v >>= 1 {
+		c.lineShift++
+	}
+	if numSets&(numSets-1) == 0 {
+		c.setsPow2 = true
+		c.setMask = uint64(numSets - 1)
+		for v := numSets; v > 1; v >>= 1 {
+			c.setShift++
+		}
 	}
 	return c, nil
 }
@@ -107,12 +130,20 @@ func (c *Cache) Config() CacheConfig { return c.cfg }
 // Stats returns a copy of the cache statistics.
 func (c *Cache) Stats() Stats { return c.stats }
 
+// Counters returns the access, miss and prefetch counters without copying
+// the full statistics struct — the timing model reads these before and after
+// every access to attribute events to activity windows.
+func (c *Cache) Counters() (accesses, misses, prefetches uint64) {
+	return c.stats.Accesses, c.stats.Misses, c.stats.Prefetches
+}
+
 // Reset clears the cache contents and statistics.
 func (c *Cache) Reset() {
 	for s := range c.sets {
 		for w := range c.sets[s] {
 			c.sets[s][w] = line{}
 		}
+		c.mru[s] = 0
 	}
 	c.clock = 0
 	c.stats = Stats{}
@@ -123,9 +154,15 @@ func (c *Cache) lineAddr(addr uint64) uint64 {
 	return addr &^ uint64(c.cfg.LineBytes-1)
 }
 
-// indexTag splits an address into set index and tag.
+// indexTag splits an address into set index and tag. Line size is always a
+// power of two (validated) and every built-in configuration's set count is
+// too, so the hot path is two shifts and a mask; the division fallback keeps
+// non-power-of-two set counts bit-identical.
 func (c *Cache) indexTag(addr uint64) (int, uint64) {
-	lineNum := addr / uint64(c.cfg.LineBytes)
+	lineNum := addr >> c.lineShift
+	if c.setsPow2 {
+		return int(lineNum & c.setMask), lineNum >> c.setShift
+	}
 	set := int(lineNum % uint64(len(c.sets)))
 	tag := lineNum / uint64(len(c.sets))
 	return set, tag
@@ -147,38 +184,69 @@ func (c *Cache) Lookup(addr uint64) bool {
 // is installed (write-allocate for stores). A victim writeback is counted
 // when a dirty line is evicted.
 func (c *Cache) Access(addr uint64, write bool) bool {
+	hit, _ := c.accessWay(addr, write)
+	return hit
+}
+
+// accessWay is Access plus the way now holding the line (valid on hit and
+// after a miss install alike), enabling the hierarchy's same-line fetch fast
+// path.
+func (c *Cache) accessWay(addr uint64, write bool) (bool, *line) {
 	c.stats.Accesses++
-	hit := c.touch(addr, write, true)
+	hit, way := c.touch(addr, write, true)
 	if hit {
 		c.stats.Hits++
 	} else {
 		c.stats.Misses++
 	}
-	return hit
+	return hit, way
+}
+
+// fastHit re-touches a line known to still be resident — the same line as
+// the previous access to this cache, with no intervening accesses that could
+// have evicted it. It performs exactly the bookkeeping of a read hit.
+func (c *Cache) fastHit(w *line) {
+	c.stats.Accesses++
+	c.stats.Hits++
+	c.clock++
+	w.used = c.clock
 }
 
 // Prefetch installs the line containing addr without counting a demand
 // access. It returns true if the line was already present.
 func (c *Cache) Prefetch(addr uint64) bool {
-	present := c.touch(addr, false, false)
+	present, _ := c.touch(addr, false, false)
 	if !present {
 		c.stats.Prefetches++
 	}
 	return present
 }
 
-// touch looks up the line, updates LRU state and installs it on miss.
-func (c *Cache) touch(addr uint64, write, demand bool) bool {
+// touch looks up the line, updates LRU state and installs it on miss. It
+// returns whether the line was present and the way now holding it.
+func (c *Cache) touch(addr uint64, write, demand bool) (bool, *line) {
 	c.clock++
 	set, tag := c.indexTag(addr)
 	ways := c.sets[set]
+	// MRU fast path: the way of the last hit/fill in this set is the
+	// likeliest match; on a hit it performs exactly the scan's updates.
+	if m := c.mru[set]; int(m) < len(ways) {
+		if l := &ways[m]; l.valid && l.tag == tag {
+			l.used = c.clock
+			if write {
+				l.dirty = true
+			}
+			return true, l
+		}
+	}
 	for w := range ways {
 		if ways[w].valid && ways[w].tag == tag {
 			ways[w].used = c.clock
 			if write {
 				ways[w].dirty = true
 			}
-			return true
+			c.mru[set] = int32(w)
+			return true, &ways[w]
 		}
 	}
 	// Miss: choose victim (invalid first, else LRU).
@@ -196,8 +264,9 @@ func (c *Cache) touch(addr uint64, write, demand bool) bool {
 		c.stats.Writebacks++
 	}
 	ways[victim] = line{tag: tag, valid: true, dirty: write, used: c.clock}
+	c.mru[set] = int32(victim)
 	_ = demand
-	return false
+	return false, &ways[victim]
 }
 
 // HierarchyConfig describes a two-level hierarchy with split L1 caches and a
@@ -235,6 +304,18 @@ type Hierarchy struct {
 	l1d  *Cache
 	l2   *Cache
 	dtlb *TLB
+	// fetchLineNum/fetchWay remember the L1I line of the previous fetch.
+	// Nothing but instruction fetches touches the L1I, so a fetch to the
+	// same line as its predecessor is guaranteed still resident and takes
+	// the fastHit path — the common case for sequential code.
+	fetchLineNum uint64
+	fetchWay     *line
+	// dataLineNum/dataWay are the analogous shortcut for the L1D: recorded
+	// on demand hits and invalidated on any miss (a miss may trigger a
+	// prefetch install that evicts an arbitrary line). Only used when no
+	// DTLB is configured, since a TLB must observe every access.
+	dataLineNum uint64
+	dataWay     *line
 }
 
 // NewHierarchy builds the hierarchy.
@@ -282,49 +363,122 @@ func (h *Hierarchy) Reset() {
 	h.l1d.Reset()
 	h.l2.Reset()
 	h.dtlb.Reset()
+	h.fetchLineNum = 0
+	h.fetchWay = nil
+	h.dataLineNum = 0
+	h.dataWay = nil
 }
 
 // AccessData performs a data access (load or store) and returns its latency
 // in cycles.
 func (h *Hierarchy) AccessData(addr uint64, write bool) int {
-	tlbPenalty := h.dtlb.Access(addr)
-	if h.l1d.Access(addr, write) {
-		return h.cfg.L1D.HitLatency + tlbPenalty
+	lat, _, _, _ := h.AccessDataEv(addr, write)
+	return lat
+}
+
+// AccessDataEv performs a data access and additionally reports the L2 events
+// it caused — demand accesses, misses (main-memory fetches) and prefetch
+// fills — so the timing model can attribute energy events to activity windows
+// without snapshotting cache counters around every access.
+func (h *Hierarchy) AccessDataEv(addr uint64, write bool) (lat int, l2acc, l2miss, l2pref uint8) {
+	if h.dtlb == nil {
+		if h.dataWay != nil && addr>>h.l1d.lineShift == h.dataLineNum {
+			c := h.l1d
+			c.stats.Accesses++
+			c.stats.Hits++
+			c.clock++
+			h.dataWay.used = c.clock
+			if write {
+				h.dataWay.dirty = true
+			}
+			return h.cfg.L1D.HitLatency, 0, 0, 0
+		}
+		return h.accessDataNewLine(addr, write, 0)
 	}
-	latency := h.cfg.L1D.HitLatency + tlbPenalty
+	return h.accessDataNewLine(addr, write, h.dtlb.Access(addr))
+}
+
+// accessDataNewLine is the data path past the same-line shortcut: a full L1D
+// access, falling through to L2, memory and the prefetcher on a miss.
+func (h *Hierarchy) accessDataNewLine(addr uint64, write bool, tlbPenalty int) (lat int, l2acc, l2miss, l2pref uint8) {
+	hit, way := h.l1d.accessWay(addr, write)
+	if hit {
+		h.dataLineNum = addr >> h.l1d.lineShift
+		h.dataWay = way
+		return h.cfg.L1D.HitLatency + tlbPenalty, 0, 0, 0
+	}
+	h.dataWay = nil
+	lat = h.cfg.L1D.HitLatency + tlbPenalty
+	l2acc = 1
 	if h.l2.Access(addr, write) {
-		latency += h.cfg.L2.HitLatency
+		lat += h.cfg.L2.HitLatency
 	} else {
-		latency += h.cfg.L2.HitLatency + h.cfg.MemLatency
+		lat += h.cfg.L2.HitLatency + h.cfg.MemLatency
+		l2miss = 1
 	}
-	h.maybePrefetch(addr)
-	return latency
+	if h.cfg.L2.NextLinePrefetch {
+		next := h.l2.lineAddr(addr) + uint64(h.cfg.L2.LineBytes)
+		if !h.l2.Prefetch(next) {
+			l2pref = 1
+		}
+		if h.cfg.L1D.NextLinePrefetch {
+			h.l1d.Prefetch(next)
+		}
+	}
+	return lat, l2acc, l2miss, l2pref
 }
 
 // AccessInstr performs an instruction fetch and returns its latency in
 // cycles.
 func (h *Hierarchy) AccessInstr(pc uint64) int {
-	if h.l1i.Access(pc, false) {
-		return h.cfg.L1I.HitLatency
-	}
-	latency := h.cfg.L1I.HitLatency
-	if h.l2.Access(pc, false) {
-		latency += h.cfg.L2.HitLatency
-	} else {
-		latency += h.cfg.L2.HitLatency + h.cfg.MemLatency
-	}
-	return latency
+	lat, _, _ := h.AccessInstrEv(pc)
+	return lat
 }
 
-// maybePrefetch installs the next line into L2 (and L1D) when the L2 is
-// configured with a next-line prefetcher.
-func (h *Hierarchy) maybePrefetch(addr uint64) {
-	if !h.cfg.L2.NextLinePrefetch {
-		return
+// AccessInstrEv performs an instruction fetch and additionally reports the
+// L2 events it caused (see AccessDataEv). The same-line fast path is kept
+// small enough to inline into the timing model's per-instruction step.
+func (h *Hierarchy) AccessInstrEv(pc uint64) (lat int, l2acc, l2miss uint8) {
+	lineNum := pc >> h.l1i.lineShift
+	if h.fetchWay != nil && lineNum == h.fetchLineNum {
+		h.l1i.fastHit(h.fetchWay)
+		return h.cfg.L1I.HitLatency, 0, 0
 	}
-	next := h.l2.lineAddr(addr) + uint64(h.cfg.L2.LineBytes)
-	h.l2.Prefetch(next)
-	if h.cfg.L1D.NextLinePrefetch {
-		h.l1d.Prefetch(next)
+	return h.accessInstrNewLine(pc, lineNum)
+}
+
+// FastFetchHit attempts the same-line fetch fast path without any function
+// calls, so it inlines into the timing model's per-instruction step. It
+// reports false when the fetch targets a new line and needs AccessInstrEv;
+// on true it has performed exactly an L1I read hit (hit latency, no L2
+// events).
+func (h *Hierarchy) FastFetchHit(pc uint64) bool {
+	if h.fetchWay == nil || pc>>h.l1i.lineShift != h.fetchLineNum {
+		return false
 	}
+	c := h.l1i
+	c.stats.Accesses++
+	c.stats.Hits++
+	c.clock++
+	h.fetchWay.used = c.clock
+	return true
+}
+
+// accessInstrNewLine is the fetch path for a line other than the previous
+// fetch's: a full L1I access, falling through to L2 and memory on a miss.
+func (h *Hierarchy) accessInstrNewLine(pc, lineNum uint64) (lat int, l2acc, l2miss uint8) {
+	hit, way := h.l1i.accessWay(pc, false)
+	h.fetchLineNum = lineNum
+	h.fetchWay = way
+	if hit {
+		return h.cfg.L1I.HitLatency, 0, 0
+	}
+	lat = h.cfg.L1I.HitLatency
+	if h.l2.Access(pc, false) {
+		lat += h.cfg.L2.HitLatency
+	} else {
+		lat += h.cfg.L2.HitLatency + h.cfg.MemLatency
+		l2miss = 1
+	}
+	return lat, 1, l2miss
 }

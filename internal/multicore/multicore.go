@@ -24,6 +24,7 @@ import (
 	"strings"
 	"sync/atomic"
 
+	"micrograd/internal/cpusim"
 	"micrograd/internal/knobs"
 	"micrograd/internal/metrics"
 	"micrograd/internal/microprobe"
@@ -172,35 +173,69 @@ func (c *CoRunPlatform) NumCores() int { return len(c.sims) }
 // Evaluations returns the number of chip-level evaluations served so far.
 func (c *CoRunPlatform) Evaluations() uint64 { return c.evaluations.Load() }
 
+// EvaluateRequest implements platform.RequestEvaluator — the one evaluation
+// path every legacy Evaluate* method shims onto. A single program fans out to
+// every core; FreqOverrides apply per core; DetailTrace adds the summed chip
+// trace and DetailResult the raw per-core simulation results.
+func (c *CoRunPlatform) EvaluateRequest(req platform.EvalRequest) (platform.EvalResponse, error) {
+	if len(req.Programs) == 0 {
+		if !req.Config.IsZero() {
+			return platform.EvalResponse{}, fmt.Errorf("multicore: %s cannot synthesize kernels from a configuration; use a platform.EvalSession", c.Name())
+		}
+		return platform.EvalResponse{}, fmt.Errorf("multicore: request without programs")
+	}
+	progs := req.Programs
+	if len(progs) == 1 && len(c.sims) > 1 {
+		progs = make([]*program.Program, len(c.sims))
+		for i := range progs {
+			progs[i] = req.Programs[0]
+		}
+	}
+	return c.evaluateDetailed(progs, req.FreqOverrides, req.Options, req.Detail)
+}
+
 // Evaluate implements platform.Platform: every core co-runs the same kernel.
+//
+// Deprecated: thin shim over the EvaluateRequest path.
 func (c *CoRunPlatform) Evaluate(p *program.Program, opts platform.EvalOptions) (metrics.Vector, error) {
 	progs := make([]*program.Program, len(c.sims))
 	for i := range progs {
 		progs[i] = p
 	}
-	return c.EvaluateCoRun(progs, opts)
+	resp, err := c.evaluateDetailed(progs, nil, opts, platform.DetailMetrics)
+	return resp.Metrics, err
 }
 
 // EvaluateCoRun simulates one kernel per core and returns the chip-level
-// metric vector.
+// metric vector. Unlike EvaluateRequest it accepts no single-kernel
+// shorthand: the kernel count must match the core count exactly.
+//
+// Deprecated: thin shim over the EvaluateRequest path.
 func (c *CoRunPlatform) EvaluateCoRun(progs []*program.Program, opts platform.EvalOptions) (metrics.Vector, error) {
-	v, _, err := c.evaluateDetailed(progs, nil, opts)
-	return v, err
+	resp, err := c.evaluateDetailed(progs, nil, opts, platform.DetailMetrics)
+	return resp.Metrics, err
 }
 
 // EvaluateCoRunDetailed is EvaluateCoRun plus the summed chip-level power
 // trace (untrimmed), for reporting tools and cmd/mgbench's -trace dump — one
 // simulation pass yields both.
+//
+// Deprecated: thin shim over the EvaluateRequest path (Detail: DetailTrace).
 func (c *CoRunPlatform) EvaluateCoRunDetailed(progs []*program.Program, opts platform.EvalOptions) (metrics.Vector, powersim.PowerTrace, error) {
-	return c.evaluateDetailed(progs, nil, opts)
+	resp, err := c.evaluateDetailed(progs, nil, opts, platform.DetailTrace)
+	return resp.Metrics, resp.Trace, err
 }
 
 // EvaluateCoRunDetailedAt is EvaluateCoRunDetailed with per-core clock
 // overrides: core i runs at freqsGHz[i] GHz instead of its spec clock (zero
 // keeps the spec clock, nil overrides nothing). Heterogeneous effective
 // clocks switch the chip aggregation onto the nanosecond grid.
+//
+// Deprecated: thin shim over the EvaluateRequest path — the overrides now
+// travel in EvalRequest.FreqOverrides.
 func (c *CoRunPlatform) EvaluateCoRunDetailedAt(progs []*program.Program, freqsGHz []float64, opts platform.EvalOptions) (metrics.Vector, powersim.PowerTrace, error) {
-	return c.evaluateDetailed(progs, freqsGHz, opts)
+	resp, err := c.evaluateDetailed(progs, freqsGHz, opts, platform.DetailTrace)
+	return resp.Metrics, resp.Trace, err
 }
 
 // EvaluateConfig implements the stress package's ConfigEvaluator: the shared
@@ -208,31 +243,25 @@ func (c *CoRunPlatform) EvaluateCoRunDetailedAt(progs []*program.Program, freqsG
 // rotated by its PHASE_OFFSET_<i> knob, and its clock overridden by its
 // FREQ_GHZ_<i> knob (when present). The synthesizer is pure per call, so
 // this composes with candidate-level fan-out.
+//
+// Deprecated: thin shim over EvaluateRequest; a platform.EvalSession serves
+// Config-driven requests with synthesis memoization.
 func (c *CoRunPlatform) EvaluateConfig(name string, cfg knobs.Config, syn *microprobe.Synthesizer, opts platform.EvalOptions) (metrics.Vector, error) {
 	progs, err := c.SynthesizeCoRun(name, cfg, syn)
 	if err != nil {
 		return nil, err
 	}
-	v, _, err := c.evaluateDetailed(progs, FreqOverrides(cfg, len(c.sims)), opts)
-	return v, err
+	resp, err := c.EvaluateRequest(platform.EvalRequest{
+		Programs: progs, FreqOverrides: FreqOverrides(cfg, len(c.sims)), Options: opts,
+	})
+	return resp.Metrics, err
 }
 
 // FreqOverrides extracts the per-core FREQ_GHZ knob values of a co-run
-// configuration as clock overrides. It returns nil when the space tunes no
-// frequencies; cores whose knob is absent keep a zero (no-override) entry.
+// configuration as clock overrides. It forwards to platform.FreqOverrides,
+// which is where the request-path helpers live.
 func FreqOverrides(cfg knobs.Config, cores int) []float64 {
-	var freqs []float64
-	for i := 0; i < cores; i++ {
-		f, ok := cfg.ValueByName(knobs.FreqGHzName(i))
-		if !ok {
-			continue
-		}
-		if freqs == nil {
-			freqs = make([]float64, cores)
-		}
-		freqs[i] = f
-	}
-	return freqs
+	return platform.FreqOverrides(cfg, cores)
 }
 
 // SynthesizeCoRun generates the per-core kernels of a knob configuration:
@@ -258,6 +287,8 @@ func (c *CoRunPlatform) SynthesizeCoRun(name string, cfg knobs.Config, syn *micr
 type coreRun struct {
 	vector metrics.Vector
 	trace  powersim.PowerTrace
+	// result is the raw simulation result, collected only for DetailResult.
+	result cpusim.Result
 	// freqGHz is the effective clock the core ran at (spec or override).
 	freqGHz float64
 }
@@ -266,16 +297,16 @@ type coreRun struct {
 // serial loop: each core owns its platform and results fold in core order),
 // sums the aligned traces and derives the chip metrics. freqsGHz optionally
 // overrides per-core clocks (zero entries keep the spec clock).
-func (c *CoRunPlatform) evaluateDetailed(progs []*program.Program, freqsGHz []float64, opts platform.EvalOptions) (metrics.Vector, powersim.PowerTrace, error) {
+func (c *CoRunPlatform) evaluateDetailed(progs []*program.Program, freqsGHz []float64, opts platform.EvalOptions, detail platform.EvalDetail) (platform.EvalResponse, error) {
 	if len(progs) != len(c.sims) {
-		return nil, powersim.PowerTrace{}, fmt.Errorf("multicore: %d kernels for %d cores", len(progs), len(c.sims))
+		return platform.EvalResponse{}, fmt.Errorf("multicore: %d kernels for %d cores", len(progs), len(c.sims))
 	}
 	if freqsGHz != nil && len(freqsGHz) != len(c.sims) {
-		return nil, powersim.PowerTrace{}, fmt.Errorf("multicore: %d clock overrides for %d cores", len(freqsGHz), len(c.sims))
+		return platform.EvalResponse{}, fmt.Errorf("multicore: %d clock overrides for %d cores", len(freqsGHz), len(c.sims))
 	}
 	for i, f := range freqsGHz {
 		if err := validFreqOverride(f, i); err != nil {
-			return nil, powersim.PowerTrace{}, err
+			return platform.EvalResponse{}, err
 		}
 	}
 	opts.CollectPower = true // chip metrics need every core's trace
@@ -291,16 +322,20 @@ func (c *CoRunPlatform) evaluateDetailed(progs []*program.Program, freqsGHz []fl
 			if err != nil {
 				return coreRun{}, fmt.Errorf("multicore: core %d: %w", i, err)
 			}
-			return coreRun{vector: v, trace: sim.PowerTrace(res), freqGHz: freq}, nil
+			run := coreRun{vector: v, trace: sim.PowerTrace(res), freqGHz: freq}
+			if detail >= platform.DetailResult {
+				run.result = res
+			}
+			return run, nil
 		})
 	if err != nil {
-		return nil, powersim.PowerTrace{}, err
+		return platform.EvalResponse{}, err
 	}
 	c.evaluations.Add(1)
 
 	chip, err := c.sumTraces(runs)
 	if err != nil {
-		return nil, powersim.PowerTrace{}, fmt.Errorf("multicore: summing traces: %w", err)
+		return platform.EvalResponse{}, fmt.Errorf("multicore: summing traces: %w", err)
 	}
 
 	v := metrics.Vector{}
@@ -315,7 +350,18 @@ func (c *CoRunPlatform) evaluateDetailed(progs []*program.Program, freqsGHz []fl
 	v[metrics.ChipWorstDroopMV] = c.spec.Supply.WorstDroopMV(steady)
 	v[metrics.ChipMaxDIDTWPerNS] = steady.MaxStepWPerNS()
 	v[metrics.ChipTempC] = c.spec.Thermal.SteadyTempC(steady)
-	return v, chip, nil
+
+	resp := platform.EvalResponse{Metrics: v}
+	if detail >= platform.DetailTrace {
+		resp.Trace = chip
+	}
+	if detail >= platform.DetailResult {
+		resp.Results = make([]cpusim.Result, len(runs))
+		for i, r := range runs {
+			resp.Results[i] = r.result
+		}
+	}
+	return resp, nil
 }
 
 // sumTraces aggregates the per-core traces into the chip waveform on the

@@ -231,10 +231,14 @@ func (s *SimPlatform) Spec() CoreSpec { return s.spec }
 // Evaluations returns the number of Evaluate calls served so far.
 func (s *SimPlatform) Evaluations() uint64 { return s.evaluations }
 
-// Evaluate implements Platform.
+// Evaluate implements Platform. The raw simulation result is not handed out,
+// so the run shares the simulator's window scratch instead of copying it.
+//
+// Deprecated: thin shim over EvaluateRequest; new code should build an
+// EvalRequest (Detail: DetailMetrics) instead.
 func (s *SimPlatform) Evaluate(p *program.Program, opts EvalOptions) (metrics.Vector, error) {
-	v, _, err := s.EvaluateDetailed(p, opts)
-	return v, err
+	resp, err := s.EvaluateRequest(EvalRequest{Programs: []*program.Program{p}, Options: opts})
+	return resp.Metrics, err
 }
 
 // TraceWarmupWindows is the number of leading activity windows the transient
@@ -266,9 +270,24 @@ func (s *SimPlatform) PowerTrace(res cpusim.Result) powersim.PowerTrace {
 // EvaluateDetailed runs the program and returns both the metric vector and
 // the raw simulation result (used by reporting tools that need the full
 // statistics, e.g. the power-virus instruction distribution of Table III).
+//
+// Deprecated: thin shim over EvaluateRequest; new code should build an
+// EvalRequest (Detail: DetailResult) instead.
 func (s *SimPlatform) EvaluateDetailed(p *program.Program, opts EvalOptions) (metrics.Vector, cpusim.Result, error) {
+	return s.evaluate(p, opts, false)
+}
+
+// evaluate is the one evaluation path. sharedWindows selects the
+// copy-free window scratch for callers that do not let the Result escape.
+func (s *SimPlatform) evaluate(p *program.Program, opts EvalOptions, sharedWindows bool) (metrics.Vector, cpusim.Result, error) {
 	opts = opts.normalized()
-	res, err := s.cpu.Run(p, opts.DynamicInstructions, opts.Seed)
+	var res cpusim.Result
+	var err error
+	if sharedWindows {
+		res, err = s.cpu.RunShared(p, opts.DynamicInstructions, opts.Seed)
+	} else {
+		res, err = s.cpu.Run(p, opts.DynamicInstructions, opts.Seed)
+	}
 	if err != nil {
 		return nil, cpusim.Result{}, err
 	}

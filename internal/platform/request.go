@@ -1,0 +1,186 @@
+package platform
+
+import (
+	"fmt"
+	"math"
+
+	"micrograd/internal/cpusim"
+	"micrograd/internal/knobs"
+	"micrograd/internal/metrics"
+	"micrograd/internal/powersim"
+	"micrograd/internal/program"
+)
+
+// EvalDetail selects how much of an evaluation's output the caller needs.
+// Higher levels cost more: DetailMetrics lets the simulator reuse its window
+// scratch between runs, DetailTrace additionally materializes the power
+// trace, and DetailResult copies the full raw simulation results out.
+type EvalDetail uint8
+
+const (
+	// DetailMetrics returns the metric vector only (the tuning hot path).
+	DetailMetrics EvalDetail = iota
+	// DetailTrace additionally returns the untrimmed power trace (for
+	// single-core platforms the core trace, for co-run platforms the summed
+	// chip trace).
+	DetailTrace
+	// DetailResult additionally returns the raw per-core simulation results.
+	DetailResult
+)
+
+// String names the detail level.
+func (d EvalDetail) String() string {
+	switch d {
+	case DetailMetrics:
+		return "metrics"
+	case DetailTrace:
+		return "trace"
+	case DetailResult:
+		return "result"
+	default:
+		return fmt.Sprintf("detail(%d)", uint8(d))
+	}
+}
+
+// EvalRequest is the one evaluation input: every platform — single-core or
+// co-run — serves it through EvaluateRequest, and every legacy Evaluate*
+// method is a thin shim over it. A request names its workload either as
+// explicit per-core kernels (Programs) or as a knob configuration (Config),
+// which an EvalSession synthesizes — with memoization — before forwarding.
+type EvalRequest struct {
+	// Name labels synthesized kernels (per-core kernels are named
+	// "<name>-core<i>" on multi-core platforms). Ignored when Programs is
+	// set.
+	Name string
+	// Programs are the per-core kernels. A single entry fans out to every
+	// core; otherwise the length must match the platform's core count.
+	Programs []*program.Program
+	// Config is the knob configuration to synthesize kernels from when
+	// Programs is empty. Only EvalSession serves Config-driven requests
+	// (platforms own no synthesizer).
+	Config knobs.Config
+	// FreqOverrides optionally overrides per-core clocks in GHz (zero
+	// entries keep the spec clock, nil overrides nothing). Single-core
+	// platforms accept one entry.
+	FreqOverrides []float64
+	// Options are the shared evaluation options (instructions, seed, power
+	// collection). DetailTrace and DetailResult force power collection.
+	Options EvalOptions
+	// Detail selects the response payload.
+	Detail EvalDetail
+}
+
+// EvalResponse is the one evaluation output.
+type EvalResponse struct {
+	// Metrics is the measured metric vector (always present).
+	Metrics metrics.Vector
+	// Trace is the untrimmed power trace; valid for Detail >= DetailTrace.
+	Trace powersim.PowerTrace
+	// Results are the raw per-core simulation results; valid for
+	// Detail >= DetailResult.
+	Results []cpusim.Result
+}
+
+// RequestEvaluator is the redesigned evaluation boundary: one request in, one
+// response out, whatever the platform's core count. Implementations are not
+// required to be safe for concurrent use (tuners give each worker its own
+// platform).
+type RequestEvaluator interface {
+	// Name identifies the platform for reports.
+	Name() string
+	// NumCores is the number of kernels one request runs.
+	NumCores() int
+	// EvaluateRequest serves one evaluation.
+	EvaluateRequest(req EvalRequest) (EvalResponse, error)
+}
+
+// FreqOverrides extracts the per-core FREQ_GHZ knob values of a configuration
+// as clock overrides. It returns nil when the space tunes no frequencies;
+// cores whose knob is absent keep a zero (no-override) entry.
+func FreqOverrides(cfg knobs.Config, cores int) []float64 {
+	var freqs []float64
+	for i := 0; i < cores; i++ {
+		f, ok := cfg.ValueByName(knobs.FreqGHzName(i))
+		if !ok {
+			continue
+		}
+		if freqs == nil {
+			freqs = make([]float64, cores)
+		}
+		freqs[i] = f
+	}
+	return freqs
+}
+
+// ValidFreqOverride rejects clock overrides that are not zero (keep the spec
+// clock) or a positive finite frequency.
+func ValidFreqOverride(f float64, core int) error {
+	if f != 0 && (!(f > 0) || math.IsInf(f, 0)) { // !(f>0) also catches NaN
+		return fmt.Errorf("platform: bad clock override %g GHz for core %d (want 0 or positive and finite)", f, core)
+	}
+	return nil
+}
+
+// NumCores implements RequestEvaluator.
+func (s *SimPlatform) NumCores() int { return 1 }
+
+// EvaluateRequest implements RequestEvaluator for the single-core simulator.
+func (s *SimPlatform) EvaluateRequest(req EvalRequest) (EvalResponse, error) {
+	if len(req.Programs) == 0 {
+		if !req.Config.IsZero() {
+			return EvalResponse{}, fmt.Errorf("platform: %s cannot synthesize kernels from a configuration; use an EvalSession", s.Name())
+		}
+		return EvalResponse{}, fmt.Errorf("platform: request without programs")
+	}
+	if len(req.Programs) != 1 {
+		return EvalResponse{}, fmt.Errorf("platform: %d kernels for the single-core platform %s", len(req.Programs), s.Name())
+	}
+	opts := req.Options
+	if len(req.FreqOverrides) > 0 {
+		if len(req.FreqOverrides) != 1 {
+			return EvalResponse{}, fmt.Errorf("platform: %d clock overrides for the single-core platform %s", len(req.FreqOverrides), s.Name())
+		}
+		if err := ValidFreqOverride(req.FreqOverrides[0], 0); err != nil {
+			return EvalResponse{}, err
+		}
+		if req.FreqOverrides[0] > 0 {
+			opts.FrequencyGHz = req.FreqOverrides[0]
+		}
+	}
+	if req.Detail >= DetailTrace {
+		opts.CollectPower = true
+	}
+	// Only DetailResult hands the raw result out, so the lower detail levels
+	// share the simulator's window scratch instead of copying it.
+	v, res, err := s.evaluate(req.Programs[0], opts, req.Detail < DetailResult)
+	if err != nil {
+		return EvalResponse{}, err
+	}
+	resp := EvalResponse{Metrics: v}
+	if req.Detail >= DetailTrace {
+		resp.Trace = s.power.Trace(res)
+	}
+	if req.Detail >= DetailResult {
+		resp.Results = []cpusim.Result{res}
+	}
+	return resp, nil
+}
+
+// NumCores implements RequestEvaluator.
+func (NativeStub) NumCores() int { return 1 }
+
+// EvaluateRequest implements RequestEvaluator. The stub replays its canned
+// metrics; trace and result payloads are not available on native hardware.
+func (n NativeStub) EvaluateRequest(req EvalRequest) (EvalResponse, error) {
+	if len(req.Programs) != 1 {
+		return EvalResponse{}, fmt.Errorf("platform: native stub serves exactly one kernel, got %d", len(req.Programs))
+	}
+	if req.Detail > DetailMetrics {
+		return EvalResponse{}, fmt.Errorf("platform: native stub cannot serve %s detail", req.Detail)
+	}
+	v, err := n.Evaluate(req.Programs[0], req.Options)
+	if err != nil {
+		return EvalResponse{}, err
+	}
+	return EvalResponse{Metrics: v}, nil
+}

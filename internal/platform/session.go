@@ -1,0 +1,108 @@
+package platform
+
+import (
+	"fmt"
+
+	"micrograd/internal/knobs"
+	"micrograd/internal/microprobe"
+	"micrograd/internal/program"
+)
+
+// EvalSession is the reusable front door of the evaluation API: it binds a
+// platform (single-core or co-run) to a memoizing kernel synthesizer and
+// serves EvalRequests end to end. Config-driven requests synthesize one
+// kernel per core — honouring the per-core PHASE_OFFSET knobs and deriving
+// FREQ_GHZ clock overrides — and candidates that differ only in
+// evaluation-time knobs reuse the memoized programs, which in turn lets the
+// simulator skip re-validating and re-predecoding them.
+//
+// Like the platforms it wraps, a session is not safe for concurrent use:
+// tuners give each worker its own session (the synthesizer memo inside is
+// thread-safe, so sessions may share one CachingSynthesizer if desired).
+type EvalSession struct {
+	plat RequestEvaluator
+	syn  *microprobe.CachingSynthesizer
+	// progs is the per-request kernel scratch, reused across evaluations so
+	// the Config-driven hot path allocates no program slice.
+	progs       []*program.Program
+	evaluations uint64
+}
+
+// NewEvalSession binds a platform to a kernel synthesizer. syn may be nil
+// when every request carries explicit Programs.
+func NewEvalSession(plat RequestEvaluator, syn *microprobe.CachingSynthesizer) *EvalSession {
+	return &EvalSession{plat: plat, syn: syn}
+}
+
+// Platform returns the wrapped platform.
+func (s *EvalSession) Platform() RequestEvaluator { return s.plat }
+
+// Evaluations returns the number of requests served so far.
+func (s *EvalSession) Evaluations() uint64 { return s.evaluations }
+
+// SynthStats returns the kernel-synthesis memo's hit and miss counts (zeros
+// without a synthesizer).
+func (s *EvalSession) SynthStats() (hits, misses uint64) {
+	if s.syn == nil {
+		return 0, 0
+	}
+	return s.syn.Stats()
+}
+
+// Evaluate serves one request. Requests without Programs are synthesized
+// from their Config first; the response is whatever the platform produced.
+func (s *EvalSession) Evaluate(req EvalRequest) (EvalResponse, error) {
+	if len(req.Programs) == 0 {
+		if req.Config.IsZero() {
+			return EvalResponse{}, fmt.Errorf("platform: request carries neither programs nor a configuration")
+		}
+		if s.syn == nil {
+			return EvalResponse{}, fmt.Errorf("platform: session without a synthesizer cannot serve configuration requests")
+		}
+		if err := s.synthesize(&req); err != nil {
+			return EvalResponse{}, err
+		}
+	}
+	s.evaluations++
+	return s.plat.EvaluateRequest(req)
+}
+
+// synthesize fills req.Programs (and, on multi-core platforms, missing
+// FreqOverrides) from req.Config. Single-core platforms get one kernel named
+// req.Name from the shared settings; multi-core platforms get one kernel per
+// core, named "<name>-core<i>", with core i's burst schedule rotated by its
+// PHASE_OFFSET_<i> knob — matching what the co-run platform's legacy
+// EvaluateConfig produced.
+func (s *EvalSession) synthesize(req *EvalRequest) error {
+	n := s.plat.NumCores()
+	if cap(s.progs) < n {
+		s.progs = make([]*program.Program, n)
+	}
+	progs := s.progs[:n]
+	if n == 1 {
+		p, err := s.syn.Synthesize(req.Name, req.Config)
+		if err != nil {
+			return err
+		}
+		progs[0] = p
+		req.Programs = progs
+		return nil
+	}
+	set := req.Config.Settings()
+	for i := 0; i < n; i++ {
+		coreSet := set
+		if off, ok := req.Config.ValueByName(knobs.PhaseOffsetName(i)); ok {
+			coreSet.PhaseOffset = int(off)
+		}
+		p, err := s.syn.SynthesizeSettings(fmt.Sprintf("%s-core%d", req.Name, i), coreSet)
+		if err != nil {
+			return fmt.Errorf("platform: synthesizing core %d kernel: %w", i, err)
+		}
+		progs[i] = p
+	}
+	req.Programs = progs
+	if req.FreqOverrides == nil {
+		req.FreqOverrides = FreqOverrides(req.Config, n)
+	}
+	return nil
+}

@@ -110,6 +110,11 @@ func SmallCoreCoefficients() Coefficients {
 // Model estimates dynamic power from simulation results.
 type Model struct {
 	coeff Coefficients
+	// classPJ is the ClassPJ map flattened into an array indexed by
+	// isa.Class, with absent classes defaulting to the integer energy (the
+	// map's historical fallback), so the per-window trace conversion does no
+	// map lookups.
+	classPJ [isa.NumClasses]float64
 }
 
 // New builds a power model.
@@ -117,7 +122,15 @@ func New(coeff Coefficients) (*Model, error) {
 	if err := coeff.Validate(); err != nil {
 		return nil, err
 	}
-	return &Model{coeff: coeff}, nil
+	m := &Model{coeff: coeff}
+	for cl := 0; cl < isa.NumClasses; cl++ {
+		e, ok := coeff.ClassPJ[isa.Class(cl)]
+		if !ok {
+			e = coeff.ClassPJ[isa.ClassInteger]
+		}
+		m.classPJ[cl] = e
+	}
+	return m, nil
 }
 
 // Coefficients returns the model's coefficients.
@@ -164,11 +177,9 @@ func (m *Model) EnergyBreakdown(r cpusim.Result) Breakdown {
 	comp["frontend"] = float64(r.Instructions-r.ClassCounts[isa.ClassNop]) * m.coeff.FrontEndPJ
 	exec := 0.0
 	for cl, n := range r.ClassCounts {
-		e, ok := m.coeff.ClassPJ[cl]
-		if !ok {
-			e = m.coeff.ClassPJ[isa.ClassInteger]
+		if n > 0 {
+			exec += float64(n) * m.classPJ[cl]
 		}
-		exec += float64(n) * e
 	}
 	comp["execute"] = exec
 	comp["l2"] = float64(r.L2.Accesses+r.L2.Prefetches) * m.coeff.L2AccessPJ

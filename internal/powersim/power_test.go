@@ -11,7 +11,7 @@ import (
 
 // fakeResult builds a cpusim.Result without running the simulator.
 func fakeResult(instr, cycles uint64, mix map[isa.Class]float64) cpusim.Result {
-	counts := make(map[isa.Class]uint64, len(mix))
+	var counts [isa.NumClasses]uint64
 	for c, f := range mix {
 		counts[c] = uint64(f * float64(instr))
 	}

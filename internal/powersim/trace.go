@@ -98,14 +98,9 @@ func (m *Model) Trace(r cpusim.Result) PowerTrace {
 	for _, w := range r.Windows {
 		e := float64(w.Instructions-w.ClassCounts[isa.ClassNop]) * m.coeff.FrontEndPJ
 		for cl, n := range w.ClassCounts {
-			if n == 0 {
-				continue
+			if n > 0 {
+				e += float64(n) * m.classPJ[cl]
 			}
-			pj, ok := m.coeff.ClassPJ[isa.Class(cl)]
-			if !ok {
-				pj = m.coeff.ClassPJ[isa.ClassInteger]
-			}
-			e += float64(n) * pj
 		}
 		e += float64(w.L2Accesses) * m.coeff.L2AccessPJ
 		e += float64(w.MemAccesses) * m.coeff.MemAccessPJ
@@ -481,7 +476,9 @@ func (s SupplyModel) WorstDroopMV(t PowerTrace) float64 {
 	// Load current per window (I = P/Vdd) and integration step per window.
 	// Cycle-domain traces keep the historical cycle arithmetic bit-for-bit;
 	// time-domain traces (mixed-frequency chip aggregates) carry their
-	// timing per point.
+	// timing per point. The per-window step count and folded step constants
+	// (h/L, h/C — no divisions left in the integration loop) are computed
+	// once and replayed across all settling passes.
 	load := make([]float64, len(t.Points))
 	dt := make([]float64, len(t.Points))
 	avg := 0.0
@@ -507,26 +504,44 @@ func (s SupplyModel) WorstDroopMV(t PowerTrace) float64 {
 	}
 	avg /= weight
 
+	steps := make([]int32, len(t.Points))
+	hOverL := make([]float64, len(t.Points))
+	hOverC := make([]float64, len(t.Points))
+	for n := range t.Points {
+		if dt[n] == 0 {
+			continue
+		}
+		k := int(dt[n]/s.MaxStepS) + 1
+		h := dt[n] / float64(k)
+		steps[n] = int32(k)
+		hOverL[n] = h / s.InductanceH
+		hOverC[n] = h / s.CapacitanceF
+	}
+
 	// Warm start at the average-current operating point.
 	i := avg
 	v := s.VddV - avg*s.ResistanceOhm
 	vMin := v
 
 	for pass := 0; pass < s.Passes; pass++ {
+		iStart, vStart := i, v
 		for n := range t.Points {
-			if dt[n] == 0 {
-				continue
-			}
-			steps := int(dt[n]/s.MaxStepS) + 1
-			h := dt[n] / float64(steps)
-			for k := 0; k < steps; k++ {
+			hL, hC, ld := hOverL[n], hOverC[n], load[n]
+			for k := int32(0); k < steps[n]; k++ {
 				// Semi-implicit Euler keeps the underdamped system stable.
-				i += h * (s.VddV - v - s.ResistanceOhm*i) / s.InductanceH
-				v += h * (i - load[n]) / s.CapacitanceF
+				i += hL * (s.VddV - v - s.ResistanceOhm*i)
+				v += hC * (i - ld)
 				if v < vMin {
 					vMin = v
 				}
 			}
+		}
+		// Once a pass ends in exactly the state it started from, every
+		// further pass replays the identical trajectory: stop early. The
+		// comparison is exact, so the result is bit-identical to running
+		// all remaining passes.
+		if i == iStart && v == vStart {
+			break
 		}
 	}
 	return (s.VddV - vMin) * 1000
@@ -592,6 +607,7 @@ func (m ThermalModel) SteadyTempC(t PowerTrace) float64 {
 		cycleS = 1 / (t.FrequencyGHz * 1e9)
 	}
 	for pass := 0; pass < m.Passes; pass++ {
+		tStart := temp
 		for n, p := range t.Points {
 			dt := float64(p.Cycles) * cycleS
 			if t.TimeDomain() {
@@ -602,12 +618,21 @@ func (m ThermalModel) SteadyTempC(t PowerTrace) float64 {
 			}
 			steps := int(dt/m.MaxStepS) + 1
 			h := dt / float64(steps)
+			// Distribute the step over the RC terms once per window so the
+			// inner loop carries no divisions.
+			gain := h / m.CthJPerC * p.PowerW
+			leak := h / (m.CthJPerC * m.RthCPerW)
 			for k := 0; k < steps; k++ {
-				temp += h * (p.PowerW - (temp-m.AmbientC)/m.RthCPerW) / m.CthJPerC
+				temp += gain - leak*(temp-m.AmbientC)
 				if temp > tMax {
 					tMax = temp
 				}
 			}
+		}
+		// A pass that ends exactly where it began would replay identically
+		// forever; stopping is bit-identical to running the rest.
+		if temp == tStart {
+			break
 		}
 	}
 	return tMax

@@ -262,14 +262,20 @@ func Run(ctx context.Context, kind Kind, opts Options) (Report, error) {
 		evalOpts.CollectPower = true
 	}
 
-	// One shared synthesizer (pure per call), one platform per worker.
-	// Platforms that synthesize their own kernels from the configuration
-	// (the multi-core co-run platform) take the ConfigEvaluator path.
+	// One shared synthesizer (pure per call), one platform — and one
+	// EvalSession — per worker. The memoizing synthesizer is shared across
+	// workers, so candidates differing only in evaluation-time knobs (per-core
+	// clocks, start skews) reuse the already-synthesized kernels.
 	syn := microprobe.NewSynthesizer(microprobe.Options{LoopSize: opts.LoopSize, Seed: opts.Seed})
+	csyn := microprobe.NewCachingSynthesizer(microprobe.Options{LoopSize: opts.LoopSize, Seed: opts.Seed})
 	synthEval := func(plat platform.Platform) sched.EvalFunc {
-		if ce, ok := plat.(ConfigEvaluator); ok {
+		if re, ok := plat.(platform.RequestEvaluator); ok {
+			session := platform.NewEvalSession(re, csyn)
 			return func(cfg knobs.Config) (metrics.Vector, error) {
-				return ce.EvaluateConfig(string(kind), cfg, syn, evalOpts)
+				resp, err := session.Evaluate(platform.EvalRequest{
+					Name: string(kind), Config: cfg, Options: evalOpts,
+				})
+				return resp.Metrics, err
 			}
 		}
 		return func(cfg knobs.Config) (metrics.Vector, error) {

@@ -242,6 +242,11 @@ func TestMemoizingEvaluatorBatchDedup(t *testing.T) {
 	if counting.Count() != 3 {
 		t.Errorf("inner evaluations after cached batch = %d, want 3", counting.Count())
 	}
+	// 12 requests total: 3 unique misses, everything else (within-batch
+	// duplicates and the fully-cached second pass) hits.
+	if memo.Hits() != 9 || memo.Misses() != 3 {
+		t.Errorf("memo counters = %d hits / %d misses, want 9 / 3", memo.Hits(), memo.Misses())
+	}
 }
 
 func TestCountingEvaluatorConcurrent(t *testing.T) {

@@ -113,6 +113,8 @@ type MemoizingEvaluator struct {
 	mu      sync.Mutex
 	cache   map[string]metrics.Vector
 	flights map[string]*flight
+	hits    atomic.Uint64
+	misses  atomic.Uint64
 }
 
 // NewMemoizingEvaluator wraps inner with an unbounded cache.
@@ -130,10 +132,12 @@ func (m *MemoizingEvaluator) Evaluate(cfg knobs.Config) (metrics.Vector, error) 
 	m.mu.Lock()
 	if v, ok := m.cache[key]; ok {
 		m.mu.Unlock()
+		m.hits.Add(1)
 		return v.Clone(), nil
 	}
 	if f, ok := m.flights[key]; ok {
 		m.mu.Unlock()
+		m.hits.Add(1)
 		<-f.done
 		if f.err != nil {
 			return nil, f.err
@@ -143,6 +147,7 @@ func (m *MemoizingEvaluator) Evaluate(cfg knobs.Config) (metrics.Vector, error) 
 	f := &flight{done: make(chan struct{})}
 	m.flights[key] = f
 	m.mu.Unlock()
+	m.misses.Add(1)
 
 	v, err := m.inner.Evaluate(cfg)
 	m.settle(key, f, v, err)
@@ -183,18 +188,22 @@ func (m *MemoizingEvaluator) EvaluateBatch(ctx context.Context, cfgs []knobs.Con
 	)
 	m.mu.Lock()
 	started := map[string]bool{}
+	var nHits, nMisses uint64
 	for i, cfg := range cfgs {
 		key := cfg.Key()
 		keyOf[i] = key
 		if v, ok := m.cache[key]; ok {
 			out[i] = v.Clone()
+			nHits++
 			continue
 		}
 		if started[key] {
+			nHits++
 			continue // resolved below from this batch's own results
 		}
 		if f, ok := m.flights[key]; ok {
 			waits[i] = f
+			nHits++
 			continue
 		}
 		f := &flight{done: make(chan struct{})}
@@ -202,8 +211,11 @@ func (m *MemoizingEvaluator) EvaluateBatch(ctx context.Context, cfgs []knobs.Con
 		started[key] = true
 		misses = append(misses, miss{key: key, f: f})
 		missCfgs = append(missCfgs, cfg)
+		nMisses++
 	}
 	m.mu.Unlock()
+	m.hits.Add(nHits)
+	m.misses.Add(nMisses)
 
 	var batchErr error
 	if len(missCfgs) > 0 {
@@ -258,6 +270,14 @@ func (m *MemoizingEvaluator) CacheSize() int {
 	defer m.mu.Unlock()
 	return len(m.cache)
 }
+
+// Hits returns the number of requests answered without new simulator work:
+// cache hits, waits on another caller's in-flight evaluation, and duplicates
+// within one batch.
+func (m *MemoizingEvaluator) Hits() uint64 { return m.hits.Load() }
+
+// Misses returns the number of requests that triggered an inner evaluation.
+func (m *MemoizingEvaluator) Misses() uint64 { return m.misses.Load() }
 
 // Problem is one tuning task.
 type Problem struct {

@@ -86,6 +86,9 @@ func TestCountingAndMemoizingEvaluators(t *testing.T) {
 	if counting.Count() != 2 {
 		t.Errorf("distinct config should miss the cache, count=%d", counting.Count())
 	}
+	if memo.Hits() != 1 || memo.Misses() != 2 {
+		t.Errorf("memo counters = %d hits / %d misses, want 1 / 2", memo.Hits(), memo.Misses())
+	}
 	// Cached results must not alias.
 	v, _ := memo.Evaluate(a)
 	v["x"] = 999

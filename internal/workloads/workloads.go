@@ -112,6 +112,18 @@ func (b Benchmark) Reference(plat platform.Platform, opts platform.EvalOptions) 
 	if err != nil {
 		return nil, err
 	}
+	return referenceEval(plat, p, opts)
+}
+
+// referenceEval routes one reference measurement through the request API when
+// the platform supports it, falling back to the legacy method otherwise.
+func referenceEval(plat platform.Platform, p *program.Program, opts platform.EvalOptions) (metrics.Vector, error) {
+	if re, ok := plat.(platform.RequestEvaluator); ok {
+		resp, err := re.EvaluateRequest(platform.EvalRequest{
+			Programs: []*program.Program{p}, Options: opts,
+		})
+		return resp.Metrics, err
+	}
 	return plat.Evaluate(p, opts)
 }
 
@@ -124,7 +136,7 @@ func (b Benchmark) PhaseReferences(plat platform.Platform, opts platform.EvalOpt
 		if err != nil {
 			return nil, err
 		}
-		v, err := plat.Evaluate(p, opts)
+		v, err := referenceEval(plat, p, opts)
 		if err != nil {
 			return nil, err
 		}

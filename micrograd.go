@@ -70,6 +70,17 @@ type (
 	Platform    = platform.Platform
 	SimPlatform = platform.SimPlatform
 	EvalOptions = platform.EvalOptions
+	// EvalRequest/EvalResponse are the redesigned evaluation API: one request
+	// in, one response out, on any platform. RequestEvaluator is the
+	// platform-side interface and EvalSession the reusable front door that
+	// also synthesizes (and memoizes) kernels from knob configurations.
+	EvalRequest      = platform.EvalRequest
+	EvalResponse     = platform.EvalResponse
+	EvalDetail       = platform.EvalDetail
+	RequestEvaluator = platform.RequestEvaluator
+	EvalSession      = platform.EvalSession
+	// KernelSynthesizer is the memoizing kernel synthesizer EvalSessions use.
+	KernelSynthesizer = microprobe.CachingSynthesizer
 	// CoreSpec describes a core configuration (Table II).
 	CoreSpec = platform.CoreSpec
 
@@ -85,6 +96,13 @@ type (
 const (
 	PerfVirus  = stress.PerfVirus
 	PowerVirus = stress.PowerVirus
+)
+
+// Evaluation detail levels.
+const (
+	DetailMetrics = platform.DetailMetrics
+	DetailTrace   = platform.DetailTrace
+	DetailResult  = platform.DetailResult
 )
 
 // DefaultConfig returns the framework configuration defaults.
@@ -138,6 +156,13 @@ func StressKnobSpace() *KnobSpace { return knobs.StressSpace() }
 func Synthesize(name string, cfg KnobConfig, loopSize int, seed int64) (*Program, error) {
 	syn := microprobe.NewSynthesizer(microprobe.Options{LoopSize: loopSize, Seed: seed})
 	return syn.Synthesize(name, cfg)
+}
+
+// NewEvalSession binds a platform to a fresh memoizing kernel synthesizer
+// and returns the reusable evaluation session that serves EvalRequests.
+func NewEvalSession(plat RequestEvaluator, loopSize int, seed int64) *EvalSession {
+	syn := microprobe.NewCachingSynthesizer(microprobe.Options{LoopSize: loopSize, Seed: seed})
+	return platform.NewEvalSession(plat, syn)
 }
 
 // Clone tunes a synthetic workload to match an explicitly provided metric

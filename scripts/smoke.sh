@@ -62,6 +62,16 @@ diff "$bin_dir/dvfs_serial.txt" "$bin_dir/dvfs_parallel.txt" || {
 run "mgworkload list"     "$bin_dir/mgworkload" -list
 run "mgworkload measure"  "$bin_dir/mgworkload" -benchmark mcf -instructions 5000
 
+# The perf harness exercises the request-path evaluation stack (EvalSession,
+# synthesis memo, chip-trace aggregation) end to end; its counters must show
+# both memo layers hitting.
+run "mgperf quick"        "$bin_dir/mgperf" -quick -parallel 1 -out "$bin_dir/bench_smoke.json"
+test -s "$bin_dir/bench_smoke.json" || { echo "FAIL: mgperf wrote no report" >&2; exit 1; }
+grep -q '"synth_memo"' "$bin_dir/bench_smoke.json" || {
+    echo "FAIL: mgperf report lacks synth_memo counters" >&2
+    exit 1
+}
+
 run "micrograd stress"    "$bin_dir/micrograd" -use-case stress -stress-kind voltage-noise-virus -core small -epochs 4 -instructions 5000 -loop-size 200
 run "micrograd cloning"   "$bin_dir/micrograd" -use-case cloning -benchmark mcf -epochs 4 -instructions 4000 -loop-size 200
 
