@@ -11,7 +11,8 @@ COVER_MIN ?= 82.0
 .PHONY: build test race bench perf fmt vet fuzz cover smoke ci
 
 # Performance-trajectory harness: measures evaluation throughput, the
-# chip-trace aggregation cost and the memo counters, and writes the
+# chip-trace aggregation and grid-solve costs and the memo counters, and
+# writes the
 # BENCH_<n>.json report (schema in ROADMAP.md). Pass PERF_ARGS for knobs,
 # e.g. `make perf PERF_ARGS="-out BENCH_6.json -baseline bench_base.json"`.
 PERF_ARGS ?=
@@ -42,12 +43,13 @@ vet:
 	$(GO) vet ./...
 
 # Short fuzz smoke runs of every fuzz target (one -fuzz per invocation; the
-# powersim package has two targets, so their patterns are anchored).
+# powersim package has several targets, so their patterns are anchored).
 fuzz:
 	$(GO) test -fuzz=FuzzEmit -fuzztime=10s -run='^$$' ./internal/program
 	$(GO) test -fuzz=FuzzParse -fuzztime=10s -run='^$$' ./internal/config
 	$(GO) test -fuzz='^FuzzSumTraces$$' -fuzztime=10s -run='^$$' ./internal/powersim
 	$(GO) test -fuzz='^FuzzSumTracesOneClockOracle$$' -fuzztime=10s -run='^$$' ./internal/powersim
+	$(GO) test -fuzz='^FuzzGridLumpedOracle$$' -fuzztime=10s -run='^$$' ./internal/powersim
 
 cover:
 	$(GO) test -coverprofile=coverage.out ./...

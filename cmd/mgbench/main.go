@@ -6,22 +6,31 @@
 //	mgbench -experiment fig2 -csv out/ # also dump CSV data for plotting
 //
 // Experiments: tableI, tableII, fig2, fig3, fig4, fig5, fig6, tableIII,
-// stresscmp, corun, dvfs, summary, all.
+// stresscmp, corun, dvfs, spatial, summary, all.
 //
 // Alternatively -kind runs a single stress test of any built-in kind
 // (perf-virus, power-virus, voltage-noise-virus, thermal-virus,
-// corun-noise-virus, dvfs-noise-virus) on the core selected with -core, and
-// -trace dumps the tuned kernel's windowed power trace as CSV
+// corun-noise-virus, dvfs-noise-virus, spatial-noise-virus,
+// hotspot-migration-virus — the last two also answer to "spatial" and
+// "hotspot") on the core selected with -core, and -trace dumps the tuned
+// kernel's windowed power trace as CSV
 // (window,cycles,time_ns,duration_ns,energy_pj,power_w; chip-level traces
 // live on a nanosecond grid, so their rows carry duration_ns with cycles 0). The corun
 // kind and experiment co-run -cores copies of the core on a shared
 // power-delivery network and tune the chip-level droop; the dvfs kind and
 // experiment additionally tune per-core clocks, warm-started from -freqs,
-// and compare against the homogeneous fixed-clock baseline:
+// and compare against the homogeneous fixed-clock baseline. The spatial
+// kinds and experiment evaluate the chip on a -grid RxC spatial PDN/thermal
+// grid with cores placed by -floorplan ("row,col" per core; default
+// round-robin), emit per-node droop/temperature metrics, and the spatial
+// experiment compares against the spatially-oblivious co-run virus
+// re-scored on the same grid:
 //
 //	mgbench -kind voltage-noise-virus -quick -core small -trace trace.csv
 //	mgbench -kind corun-noise-virus -quick -core small -cores 2
 //	mgbench -experiment dvfs -quick -core small -freqs 2.0,1.2
+//	mgbench -kind spatial -quick -core small -cores 4 -grid 2x2
+//	mgbench -experiment spatial -quick -core small -cores 4 -grid 2x2 -floorplan "0,0;0,0;1,1;1,1"
 package main
 
 import (
@@ -39,6 +48,7 @@ import (
 
 	"micrograd/internal/experiments"
 	"micrograd/internal/metrics"
+	"micrograd/internal/multicore"
 	"micrograd/internal/powersim"
 	"micrograd/internal/report"
 	"micrograd/internal/stress"
@@ -54,7 +64,7 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("mgbench", flag.ContinueOnError)
 	var (
-		experiment = fs.String("experiment", "all", "experiment to run: tableI, tableII, fig2, fig3, fig4, fig5, fig6, tableIII, stresscmp, corun, dvfs, summary, all")
+		experiment = fs.String("experiment", "all", "experiment to run: tableI, tableII, fig2, fig3, fig4, fig5, fig6, tableIII, stresscmp, corun, dvfs, spatial, summary, all")
 		quick      = fs.Bool("quick", false, "use the reduced quick budget (3 benchmarks, short simulations)")
 		csvDir     = fs.String("csv", "", "directory to write CSV data files into (empty = don't write)")
 		dynInstr   = fs.Int("instructions", 0, "override dynamic instructions per evaluation")
@@ -62,10 +72,12 @@ func run(args []string, out io.Writer) error {
 		seed       = fs.Int64("seed", 0, "override random seed")
 		benchList  = fs.String("benchmarks", "", "comma-separated benchmark subset (default: all eight)")
 		parallel   = fs.Int("parallel", runtime.GOMAXPROCS(0), "worker count of the parallel evaluation engine (1 = serial; results are identical at any count)")
-		kind       = fs.String("kind", "", "run a single stress test of this kind instead of an experiment: perf-virus, power-virus, voltage-noise-virus, thermal-virus, corun-noise-virus, dvfs-noise-virus")
-		coreName   = fs.String("core", "large", "core the -kind stress test and the corun/dvfs experiments run on: small or large")
-		cores      = fs.Int("cores", 2, "number of co-running cores of the corun/dvfs experiments and kinds")
+		kind       = fs.String("kind", "", "run a single stress test of this kind instead of an experiment: perf-virus, power-virus, voltage-noise-virus, thermal-virus, corun-noise-virus, dvfs-noise-virus, spatial-noise-virus (alias: spatial), hotspot-migration-virus (alias: hotspot)")
+		coreName   = fs.String("core", "large", "core the -kind stress test and the corun/dvfs/spatial experiments run on: small or large")
+		cores      = fs.Int("cores", 2, "number of co-running cores of the corun/dvfs/spatial experiments and kinds")
 		freqList   = fs.String("freqs", "", "comma-separated per-core warm-start clocks in GHz for the dvfs experiment and the dvfs-noise-virus kind (e.g. 2.0,1.2; sets the core count, empty = start from the knob-space midpoint)")
+		gridDims   = fs.String("grid", "", "spatial PDN/thermal grid dimensions RxC for the spatial experiment and kinds (e.g. 2x2; empty = near-square grid sized to -cores)")
+		floorplan  = fs.String("floorplan", "", "core placement on the -grid, one row,col pair per core (e.g. \"0,0;0,1;1,0;1,1\"; empty = round-robin)")
 		tracePath  = fs.String("trace", "", "file to write the -kind kernel's windowed power trace into (CSV; empty = don't write)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -100,14 +112,59 @@ func run(args []string, out io.Writer) error {
 		*cores = len(freqs)
 	}
 
+	rows, cols, err := parseGrid(*gridDims, *cores)
+	if err != nil {
+		return err
+	}
+	var fp *multicore.Floorplan
+	if *floorplan != "" {
+		plan, err := multicore.ParseFloorplan(*floorplan, rows, cols)
+		if err != nil {
+			return fmt.Errorf("bad -floorplan: %w", err)
+		}
+		fp = &plan
+	}
+
 	ctx := context.Background()
-	runner := &suite{out: out, csvDir: *csvDir, budget: budget, core: strings.ToLower(*coreName), cores: *cores, freqs: freqs}
+	runner := &suite{out: out, csvDir: *csvDir, budget: budget, core: strings.ToLower(*coreName),
+		cores: *cores, freqs: freqs, rows: rows, cols: cols, fp: fp}
 	// -kind and -core are normalized like -experiment, so "Voltage-Noise-Virus"
 	// or "SMALL" work the same as their lower-case spellings.
 	if *kind != "" {
 		return runner.runKind(ctx, strings.ToLower(*kind), *tracePath)
 	}
 	return runner.run(ctx, strings.ToLower(*experiment))
+}
+
+// parseGrid parses the -grid dimensions ("2x2"). An empty value picks a
+// near-square grid with at least one node per core (2x2 for 4 cores, 1x2
+// for 2), so the spatial kinds work without an explicit -grid.
+func parseGrid(s string, cores int) (rows, cols int, err error) {
+	if s == "" {
+		if cores < 1 {
+			cores = 1
+		}
+		rows = 1
+		for rows*rows < cores {
+			rows++
+		}
+		if rows*(rows-1) >= cores {
+			return rows - 1, rows, nil
+		}
+		return rows, rows, nil
+	}
+	parts := strings.SplitN(strings.ToLower(s), "x", 2)
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("bad -grid %q: want RxC, e.g. 2x2", s)
+	}
+	rows, err = strconv.Atoi(strings.TrimSpace(parts[0]))
+	if err == nil {
+		cols, err = strconv.Atoi(strings.TrimSpace(parts[1]))
+	}
+	if err != nil || rows < 1 || cols < 1 {
+		return 0, 0, fmt.Errorf("bad -grid %q: want RxC with positive dimensions, e.g. 2x2", s)
+	}
+	return rows, cols, nil
 }
 
 // parseFreqs parses the -freqs list ("2.0,1.2") into per-core GHz values.
@@ -158,6 +215,13 @@ func (s *suite) runKind(ctx context.Context, kindName, tracePath string) error {
 		}
 		rep, trace = run.Report, run.Trace
 		fmt.Fprintln(s.out, run.Render())
+	case stress.SpatialNoiseVirus, stress.HotspotMigrationVirus:
+		run, err := experiments.RunSpatialKind(ctx, kind, s.core, s.cores, s.rows, s.cols, s.fp, s.budget)
+		if err != nil {
+			return err
+		}
+		rep, trace = run.Report, run.Trace
+		fmt.Fprintln(s.out, run.Render())
 	default:
 		run, err := experiments.RunStressKind(ctx, kind, s.core, s.budget)
 		if err != nil {
@@ -200,6 +264,10 @@ type suite struct {
 	core   string
 	cores  int
 	freqs  []float64
+	// rows/cols/fp describe the spatial grid of the spatial experiment and
+	// kinds (fp nil = round-robin default floorplan).
+	rows, cols int
+	fp         *multicore.Floorplan
 
 	fig2 *experiments.CloningResult
 	fig4 *experiments.CloningResult
@@ -210,7 +278,7 @@ type suite struct {
 func (s *suite) run(ctx context.Context, which string) error {
 	order := []string{which}
 	if which == "all" {
-		order = []string{"tablei", "tableii", "fig2", "fig3", "fig4", "fig5", "fig6", "tableiii", "stresscmp", "corun", "dvfs", "summary"}
+		order = []string{"tablei", "tableii", "fig2", "fig3", "fig4", "fig5", "fig6", "tableiii", "stresscmp", "corun", "dvfs", "spatial", "summary"}
 	}
 	for _, exp := range order {
 		start := time.Now()
@@ -305,6 +373,17 @@ func (s *suite) runOne(ctx context.Context, which string) error {
 		fmt.Fprintln(s.out, res.Render())
 		if s.csvDir != "" {
 			return writeCSVFile(filepath.Join(s.csvDir, "dvfs.csv"), func(w io.Writer) error {
+				return report.SeriesCSV(w, res.Series()...)
+			})
+		}
+	case "spatial":
+		res, err := experiments.RunSpatial(ctx, s.core, s.cores, s.rows, s.cols, s.fp, s.budget)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(s.out, res.Render())
+		if s.csvDir != "" {
+			return writeCSVFile(filepath.Join(s.csvDir, "spatial.csv"), func(w io.Writer) error {
 				return report.SeriesCSV(w, res.Series()...)
 			})
 		}

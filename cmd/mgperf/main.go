@@ -9,6 +9,9 @@
 //   - evaluations/sec and instructions/sec of the stress single-core
 //     workload at each -parallel level (1, 2 and GOMAXPROCS by default);
 //   - the chip-trace aggregation cost (powersim.SumTracesTime) in ns/call;
+//   - the spatial grid-solve cost (GridSupplyModel.NodeDroopsMV plus
+//     GridThermalModel.NodeTempsC on a 2x2 grid) in ns/call — the extra
+//     per-candidate work a spatial stress tuning epoch pays;
 //   - the evaluation-memo and synthesis-memo hit/miss counters of a
 //     repeated-configuration pass.
 //
@@ -67,6 +70,17 @@ type SumTracesCost struct {
 	CallsPerSec float64 `json:"calls_per_sec"`
 }
 
+// GridSolveCost is the spatial transient-solve cost: one supply droop pass
+// plus one thermal pass over a rows×cols grid with two populated corner
+// nodes.
+type GridSolveCost struct {
+	Rows        int     `json:"rows"`
+	Cols        int     `json:"cols"`
+	Windows     int     `json:"windows"`
+	NSPerCall   float64 `json:"ns_per_call"`
+	CallsPerSec float64 `json:"calls_per_sec"`
+}
+
 // MemoCounters are cache hit/miss counters of a memoized component.
 type MemoCounters struct {
 	Hits   uint64 `json:"hits"`
@@ -79,6 +93,9 @@ type Measurement struct {
 	GoVersion  string            `json:"go_version"`
 	Throughput []ThroughputPoint `json:"throughput"`
 	SumTraces  SumTracesCost     `json:"sum_traces"`
+	// GridSolve is the spatial PDN/thermal grid solve cost (zero in reports
+	// from builds that predate the spatial grid).
+	GridSolve GridSolveCost `json:"grid_solve"`
 	// EvalMemo counts the evaluation-result memo's hits/misses over a pass
 	// that revisits every configuration once (so hits == misses == evals
 	// when the memo works).
@@ -114,7 +131,7 @@ func run(args []string, out io.Writer) error {
 		loopSize     = fs.Int("loop-size", 500, "static kernel size")
 		seed         = fs.Int64("seed", 1, "random seed for configuration sampling and trace expansion")
 		parallelList = fs.String("parallel", "", "comma-separated worker counts to measure (default \"1,2,N\" with N=GOMAXPROCS)")
-		prNum        = fs.Int("pr", 6, "PR number recorded in the report")
+		prNum        = fs.Int("pr", 7, "PR number recorded in the report")
 		outPath      = fs.String("out", "", "write the JSON report to this file (empty = stdout only)")
 		basePath     = fs.String("baseline", "", "embed a previous run's report or measurement as the baseline")
 		quick        = fs.Bool("quick", false, "CI smoke budget: few evaluations, short runs")
@@ -163,13 +180,25 @@ func run(args []string, out io.Writer) error {
 			workers, float64(len(cfgs))/secs, float64(len(cfgs))*float64(*dynInstr)/secs)
 	}
 
-	// Chip-trace aggregation cost.
-	st, err := measureSumTraces(wl)
+	// Chip-trace aggregation and spatial grid-solve costs share one pair of
+	// simulated core traces.
+	traces, windowNS, err := coRunTraces(wl)
+	if err != nil {
+		return err
+	}
+	st, err := measureSumTraces(traces, windowNS)
 	if err != nil {
 		return err
 	}
 	m.SumTraces = st
 	fmt.Fprintf(out, "sum_traces (%d cores, %d windows): %.0f ns/call\n", st.Cores, st.Windows, st.NSPerCall)
+
+	gs, err := measureGridSolve(traces, windowNS)
+	if err != nil {
+		return err
+	}
+	m.GridSolve = gs
+	fmt.Fprintf(out, "grid_solve (%dx%d grid, %d windows): %.0f ns/call\n", gs.Rows, gs.Cols, gs.Windows, gs.NSPerCall)
 
 	// Memo behaviour: evaluate the batch twice through the memoized stack;
 	// the second pass must be all hits.
@@ -301,20 +330,21 @@ func measureThroughput(cfgs []knobs.Config, wl Workload, workers int) (float64, 
 	return time.Since(start).Seconds(), nil
 }
 
-// measureSumTraces simulates two co-running cores once and times the chip
-// aggregation of their traces.
-func measureSumTraces(wl Workload) (SumTracesCost, error) {
+// coRunTraces simulates two co-running cores once, returning their power
+// traces and the chip aggregation window — the shared input of the
+// aggregation and grid-solve measurements.
+func coRunTraces(wl Workload) ([]powersim.PowerTrace, float64, error) {
 	syn := microprobe.NewSynthesizer(microprobe.Options{LoopSize: wl.LoopSize, Seed: wl.Seed})
 	cfg := knobs.StressSpace().MidConfig()
 	prog, err := syn.Synthesize("mgperf-sum", cfg)
 	if err != nil {
-		return SumTracesCost{}, err
+		return nil, 0, err
 	}
 	traces := make([]powersim.PowerTrace, 2)
 	for i := range traces {
 		plat, err := platform.NewSimPlatform(platform.Large())
 		if err != nil {
-			return SumTracesCost{}, err
+			return nil, 0, err
 		}
 		resp, err := plat.EvaluateRequest(platform.EvalRequest{
 			Programs: []*program.Program{prog},
@@ -322,11 +352,15 @@ func measureSumTraces(wl Workload) (SumTracesCost, error) {
 			Detail:   platform.DetailTrace,
 		})
 		if err != nil {
-			return SumTracesCost{}, err
+			return nil, 0, err
 		}
 		traces[i] = resp.Trace
 	}
-	windowNS := float64(platform.DefaultWindowCycles) / 2.0
+	return traces, float64(platform.DefaultWindowCycles) / 2.0, nil
+}
+
+// measureSumTraces times the chip aggregation of the simulated core traces.
+func measureSumTraces(traces []powersim.PowerTrace, windowNS float64) (SumTracesCost, error) {
 	const reps = 200
 	start := time.Now()
 	for i := 0; i < reps; i++ {
@@ -339,6 +373,50 @@ func measureSumTraces(wl Workload) (SumTracesCost, error) {
 	return SumTracesCost{
 		Cores:       len(traces),
 		Windows:     len(traces[0].Points),
+		NSPerCall:   perCall,
+		CallsPerSec: 1e9 / perCall,
+	}, nil
+}
+
+// measureGridSolve times one spatial solve (supply droops plus thermal temps)
+// on a 2x2 grid with the two core traces on opposite corners — the extra
+// per-candidate cost of evaluating a chip spatially instead of lumped.
+func measureGridSolve(traces []powersim.PowerTrace, windowNS float64) (GridSolveCost, error) {
+	nodes := make([]powersim.PowerTrace, 4)
+	for i := range nodes {
+		nodes[i] = powersim.PowerTrace{WindowNS: windowNS}
+	}
+	var err error
+	if nodes[0], err = powersim.SumTracesTime(windowNS, nil, traces[0]); err != nil {
+		return GridSolveCost{}, err
+	}
+	if nodes[3], err = powersim.SumTracesTime(windowNS, nil, traces[len(traces)-1]); err != nil {
+		return GridSolveCost{}, err
+	}
+	supply := powersim.DefaultGridSupplyModel(2, 2)
+	thermal := powersim.DefaultGridThermalModel(2, 2)
+	windows := 0
+	for _, n := range nodes {
+		if len(n.Points) > windows {
+			windows = len(n.Points)
+		}
+	}
+	const reps = 20
+	start := time.Now()
+	for i := 0; i < reps; i++ {
+		if _, err := supply.NodeDroopsMV(nodes); err != nil {
+			return GridSolveCost{}, err
+		}
+		if _, err := thermal.NodeTempsC(nodes); err != nil {
+			return GridSolveCost{}, err
+		}
+	}
+	elapsed := time.Since(start)
+	perCall := float64(elapsed.Nanoseconds()) / reps
+	return GridSolveCost{
+		Rows:        2,
+		Cols:        2,
+		Windows:     windows,
 		NSPerCall:   perCall,
 		CallsPerSec: 1e9 / perCall,
 	}, nil

@@ -152,6 +152,15 @@ var (
 	// largest BURST_LEN period so any inter-core phase relationship is
 	// reachable.
 	phaseOffsetValues = []float64{0, 32, 64, 96, 128, 160, 192, 224, 256, 288, 320, 352} // instructions
+	// The spatial stress space refines the phase grid to 16-instruction
+	// steps (a superset of phaseOffsetValues): hammering one PDN region
+	// needs the co-located cores phase-aligned more precisely than the
+	// coarse chip-wide grid resolves, and the finer grid is what lets the
+	// spatially-targeted viruses beat the spatially-oblivious ones.
+	spatialPhaseOffsetValues = []float64{
+		0, 16, 32, 48, 64, 80, 96, 112, 128, 144, 160, 176,
+		192, 208, 224, 240, 256, 272, 288, 304, 320, 336, 352, 368,
+	} // instructions
 	// Frequency values span the DVFS operating points of the built-in 2 GHz
 	// cores: deep-throttle bins for big.LITTLE pairings up to a 2.4 GHz
 	// boost bin, so a tuner can trade per-core power against time-domain

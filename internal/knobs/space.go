@@ -109,6 +109,24 @@ func CoRunStressSpace(cores int) *Space {
 	return MustSpace(coRunDefs(cores))
 }
 
+// SpatialStressSpace returns the space used for spatial-grid chip stress
+// testing on n cores: the transient stress space (one shared kernel)
+// extended with a PHASE_OFFSET knob per core on a finer 16-instruction
+// phase grid. On a spatial chip the cores a floorplan co-locates must
+// phase-align precisely to hammer their shared PDN node — the extra phase
+// resolution (every CoRunStressSpace offset is also reachable here) is the
+// locality-exploiting degree of freedom the spatial virus kinds tune.
+func SpatialStressSpace(cores int) *Space {
+	if cores < 1 {
+		cores = 1
+	}
+	defs := transientDefs()
+	for i := 0; i < cores; i++ {
+		defs = append(defs, Def{Name: PhaseOffsetName(i), Kind: KindPhaseOffset, Values: append([]float64(nil), spatialPhaseOffsetValues...)})
+	}
+	return MustSpace(defs)
+}
+
 // DVFSStressSpace returns the space used for heterogeneous-frequency chip
 // stress testing on n cores: the co-run stress space extended with a
 // FREQ_GHZ knob per core. The evaluation platform realizes a FREQ_GHZ value

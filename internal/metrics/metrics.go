@@ -47,6 +47,20 @@ const (
 	FreqGHz = "freq_ghz"
 )
 
+// NodeDroopMV names grid node (row, col)'s worst-case supply droop metric
+// ("node0_1_droop_mv"), emitted by spatial-grid chips alongside the
+// chip-worst values.
+func NodeDroopMV(row, col int) string {
+	return fmt.Sprintf("node%d_%d_droop_mv", row, col)
+}
+
+// NodeTempC names grid node (row, col)'s peak temperature metric
+// ("node0_1_temp_c"), emitted by spatial-grid chips alongside the
+// chip-worst values.
+func NodeTempC(row, col int) string {
+	return fmt.Sprintf("node%d_%d_temp_c", row, col)
+}
+
 // CloningMetricNames returns the metric set the cloning use case targets by
 // default, matching the paper's Fig. 2–4 radar axes.
 func CloningMetricNames() []string {

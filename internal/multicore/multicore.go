@@ -51,6 +51,38 @@ type CoRunSpec struct {
 	// OffsetCycles optionally skews each core's start by this many cycles
 	// when the traces are aligned (nil = all cores start together).
 	OffsetCycles []uint64
+	// GridSupply, GridThermal and Floorplan switch the chip's transient
+	// analyses onto a 2D spatial grid: per-core traces are aggregated per
+	// floorplan node and fed to the spatial solvers, which emit per-node
+	// droop/temperature metrics plus the chip-worst values. All three must
+	// be set together (or all nil for the lumped models above); a 1×1 grid
+	// reproduces the lumped chip metrics exactly.
+	GridSupply  *powersim.GridSupplyModel
+	GridThermal *powersim.GridThermalModel
+	Floorplan   *Floorplan
+}
+
+// Spatial reports whether the spec evaluates on a spatial grid rather than
+// the lumped chip models.
+func (s CoRunSpec) Spatial() bool { return s.GridSupply != nil }
+
+// WithGrid returns a copy of the spec evaluated on a rows×cols spatial
+// PDN/thermal grid: the per-node models inherit the spec's lumped
+// parameters with the default lateral couplings, and fp maps cores onto
+// nodes (nil = the round-robin DefaultFloorplan). Validation of the
+// dimensions happens in Validate, i.e. at New.
+func (s CoRunSpec) WithGrid(rows, cols int, fp *Floorplan) CoRunSpec {
+	out := s
+	gs := powersim.GridSupplyModel{Rows: rows, Cols: cols, Node: s.Supply, CouplingS: powersim.DefaultGridCouplingS}
+	gt := powersim.GridThermalModel{Rows: rows, Cols: cols, Node: s.Thermal, LateralWPerC: powersim.DefaultGridLateralWPerC}
+	out.GridSupply = &gs
+	out.GridThermal = &gt
+	plan := DefaultFloorplan(rows, cols, len(s.Cores))
+	if fp != nil {
+		plan = *fp
+	}
+	out.Floorplan = &plan
+	return out
 }
 
 // Homogeneous returns a co-run spec of n copies of one core, sharing that
@@ -112,7 +144,30 @@ func (s CoRunSpec) Validate() error {
 	if err := s.Supply.Validate(); err != nil {
 		return err
 	}
-	return s.Thermal.Validate()
+	if err := s.Thermal.Validate(); err != nil {
+		return err
+	}
+	if s.GridSupply == nil && s.GridThermal == nil && s.Floorplan == nil {
+		return nil
+	}
+	if s.GridSupply == nil || s.GridThermal == nil || s.Floorplan == nil {
+		return fmt.Errorf("multicore: spatial chips need GridSupply, GridThermal and Floorplan set together")
+	}
+	if err := s.GridSupply.Validate(); err != nil {
+		return err
+	}
+	if err := s.GridThermal.Validate(); err != nil {
+		return err
+	}
+	if err := s.Floorplan.Validate(len(s.Cores)); err != nil {
+		return err
+	}
+	if s.Floorplan.Rows != s.GridSupply.Rows || s.Floorplan.Cols != s.GridSupply.Cols ||
+		s.Floorplan.Rows != s.GridThermal.Rows || s.Floorplan.Cols != s.GridThermal.Cols {
+		return fmt.Errorf("multicore: floorplan grid %dx%d does not match supply grid %dx%d / thermal grid %dx%d",
+			s.Floorplan.Rows, s.Floorplan.Cols, s.GridSupply.Rows, s.GridSupply.Cols, s.GridThermal.Rows, s.GridThermal.Cols)
+	}
+	return nil
 }
 
 // CoRunPlatform simulates N co-running cores. It implements
@@ -155,13 +210,18 @@ func New(spec CoRunSpec, parallel int) (*CoRunPlatform, error) {
 	return c, nil
 }
 
-// Name implements platform.Platform.
+// Name implements platform.Platform. Spatial chips carry their grid
+// dimensions as a suffix ("corun-4x-small+...@2x2").
 func (c *CoRunPlatform) Name() string {
 	kinds := make([]string, len(c.spec.Cores))
 	for i, core := range c.spec.Cores {
 		kinds[i] = string(core.Kind)
 	}
-	return fmt.Sprintf("corun-%dx-%s", len(kinds), strings.Join(kinds, "+"))
+	name := fmt.Sprintf("corun-%dx-%s", len(kinds), strings.Join(kinds, "+"))
+	if c.spec.Spatial() {
+		name += fmt.Sprintf("@%dx%d", c.spec.Floorplan.Rows, c.spec.Floorplan.Cols)
+	}
+	return name
 }
 
 // Spec returns the platform's co-run specification.
@@ -331,7 +391,6 @@ func (c *CoRunPlatform) evaluateDetailed(progs []*program.Program, freqsGHz []fl
 	if err != nil {
 		return platform.EvalResponse{}, err
 	}
-	c.evaluations.Add(1)
 
 	chip, err := c.sumTraces(runs)
 	if err != nil {
@@ -347,9 +406,15 @@ func (c *CoRunPlatform) evaluateDetailed(progs []*program.Program, freqsGHz []fl
 	}
 	v[metrics.ChipPowerW] = chip.AvgPowerW()
 	steady := chip.TrimWarmupCapped(platform.TraceWarmupWindows)
-	v[metrics.ChipWorstDroopMV] = c.spec.Supply.WorstDroopMV(steady)
 	v[metrics.ChipMaxDIDTWPerNS] = steady.MaxStepWPerNS()
-	v[metrics.ChipTempC] = c.spec.Thermal.SteadyTempC(steady)
+	if c.spec.Spatial() {
+		if err := c.spatialMetrics(runs, v); err != nil {
+			return platform.EvalResponse{}, err
+		}
+	} else {
+		v[metrics.ChipWorstDroopMV] = c.spec.Supply.WorstDroopMV(steady)
+		v[metrics.ChipTempC] = c.spec.Thermal.SteadyTempC(steady)
+	}
 
 	resp := platform.EvalResponse{Metrics: v}
 	if detail >= platform.DetailTrace {
@@ -361,7 +426,45 @@ func (c *CoRunPlatform) evaluateDetailed(progs []*program.Program, freqsGHz []fl
 			resp.Results[i] = r.result
 		}
 	}
+	// The counter moves only once the response is fully assembled:
+	// Evaluations() counts *served* chip evaluations, and the aggregation
+	// and spatial solves above can still fail after the per-core
+	// simulations succeeded.
+	c.evaluations.Add(1)
 	return resp, nil
+}
+
+// spatialMetrics runs the spatial supply/thermal solvers over the per-node
+// traces and folds the per-node and chip-worst transient metrics into v.
+func (c *CoRunPlatform) spatialMetrics(runs []coreRun, v metrics.Vector) error {
+	nodes, err := c.nodeTraces(runs)
+	if err != nil {
+		return fmt.Errorf("multicore: summing node traces: %w", err)
+	}
+	trimmed := trimNodesAligned(nodes, platform.TraceWarmupWindows)
+	droops, err := c.spec.GridSupply.NodeDroopsMV(trimmed)
+	if err != nil {
+		return fmt.Errorf("multicore: spatial supply solve: %w", err)
+	}
+	temps, err := c.spec.GridThermal.NodeTempsC(trimmed)
+	if err != nil {
+		return fmt.Errorf("multicore: spatial thermal solve: %w", err)
+	}
+	worstDroop, worstTemp := droops[0], temps[0]
+	cols := c.spec.Floorplan.Cols
+	for k := range droops {
+		v[metrics.NodeDroopMV(k/cols, k%cols)] = droops[k]
+		v[metrics.NodeTempC(k/cols, k%cols)] = temps[k]
+		if droops[k] > worstDroop {
+			worstDroop = droops[k]
+		}
+		if temps[k] > worstTemp {
+			worstTemp = temps[k]
+		}
+	}
+	v[metrics.ChipWorstDroopMV] = worstDroop
+	v[metrics.ChipTempC] = worstTemp
+	return nil
 }
 
 // sumTraces aggregates the per-core traces into the chip waveform on the
@@ -371,21 +474,101 @@ func (c *CoRunPlatform) evaluateDetailed(progs []*program.Program, freqsGHz []fl
 // skews convert through each core's own effective clock.
 func (c *CoRunPlatform) sumTraces(runs []coreRun) (powersim.PowerTrace, error) {
 	traces := make([]powersim.PowerTrace, len(runs))
-	windowNS := 0.0
 	for i, r := range runs {
 		traces[i] = r.trace
+	}
+	return powersim.SumTracesTime(c.chipWindowNS(runs), c.chipOffsetsNS(runs), traces...)
+}
+
+// chipWindowNS sizes the nanosecond aggregation grid: the longest per-core
+// window duration, so no core's trace is artificially sharpened.
+func (c *CoRunPlatform) chipWindowNS(runs []coreRun) float64 {
+	windowNS := 0.0
+	for i, r := range runs {
 		if w := float64(c.spec.Cores[i].CPU.WindowCycles) / r.freqGHz; w > windowNS {
 			windowNS = w
 		}
 	}
-	var offsetsNS []float64
-	if c.spec.OffsetCycles != nil {
-		offsetsNS = make([]float64, len(runs))
+	return windowNS
+}
+
+// chipOffsetsNS converts the spec's cycle-domain start skews through each
+// core's effective clock (nil when the spec has no skews).
+func (c *CoRunPlatform) chipOffsetsNS(runs []coreRun) []float64 {
+	if c.spec.OffsetCycles == nil {
+		return nil
+	}
+	offsetsNS := make([]float64, len(runs))
+	for i, r := range runs {
+		offsetsNS[i] = float64(c.spec.OffsetCycles[i]) / r.freqGHz
+	}
+	return offsetsNS
+}
+
+// nodeTraces aggregates the per-core traces onto the floorplan's grid nodes:
+// node k's trace is the SumTracesTime aggregate of the cores mapped onto it,
+// on the same nanosecond grid and with the same start skews as the chip
+// trace. Nodes with no cores get an empty time-domain trace (an idle
+// region). With every core on one node the single node trace is the chip
+// trace, computed by the identical aggregation call — the arithmetic the
+// 1×1-grid oracle test pins.
+func (c *CoRunPlatform) nodeTraces(runs []coreRun) ([]powersim.PowerTrace, error) {
+	windowNS := c.chipWindowNS(runs)
+	offsetsNS := c.chipOffsetsNS(runs)
+	fp := c.spec.Floorplan
+	out := make([]powersim.PowerTrace, fp.NodeCount())
+	for k := range out {
+		var traces []powersim.PowerTrace
+		var offs []float64
 		for i, r := range runs {
-			offsetsNS[i] = float64(c.spec.OffsetCycles[i]) / r.freqGHz
+			if fp.Nodes[i] != k {
+				continue
+			}
+			traces = append(traces, r.trace)
+			if offsetsNS != nil {
+				offs = append(offs, offsetsNS[i])
+			}
+		}
+		if len(traces) == 0 {
+			out[k] = powersim.PowerTrace{WindowNS: windowNS}
+			continue
+		}
+		node, err := powersim.SumTracesTime(windowNS, offs, traces...)
+		if err != nil {
+			return nil, err
+		}
+		out[k] = node
+	}
+	return out, nil
+}
+
+// trimNodesAligned applies the shared warmup policy to the node traces
+// without letting them fall out of time alignment: every non-empty node
+// trace drops the same number of leading windows — up to n, capped at a
+// quarter of the shortest non-empty node trace. With one populated node
+// this is exactly PowerTrace.TrimWarmupCapped(n) of that node's trace.
+func trimNodesAligned(nodes []powersim.PowerTrace, n int) []powersim.PowerTrace {
+	shortest := -1
+	for _, t := range nodes {
+		if !t.Empty() && (shortest < 0 || len(t.Points) < shortest) {
+			shortest = len(t.Points)
 		}
 	}
-	return powersim.SumTracesTime(windowNS, offsetsNS, traces...)
+	if shortest < 0 {
+		return nodes
+	}
+	if max := shortest / 4; n > max {
+		n = max
+	}
+	out := make([]powersim.PowerTrace, len(nodes))
+	for i, t := range nodes {
+		if t.Empty() {
+			out[i] = t
+			continue
+		}
+		out[i] = t.TrimWarmup(n)
+	}
+	return out
 }
 
 // coreMetric names core i's copy of a per-core metric ("core0_ipc", ...).

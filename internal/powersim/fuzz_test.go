@@ -98,3 +98,85 @@ func FuzzSumTracesOneClockOracle(f *testing.F) {
 		requireOneClockMatch(t, cyc, tim)
 	})
 }
+
+// FuzzGridLumpedOracle is the permanent equivalence oracle for the spatial
+// PDN/thermal grids: for random trace shapes, a 1×1 grid must reproduce the
+// lumped WorstDroopMV and SteadyTempC to ≤1e-9, and for a random rows×cols
+// floorplan the per-node SumTracesTime aggregates must conserve the chip
+// energy exactly (the per-node traces partition the chip trace). Wired into
+// `make fuzz` and the CI fuzz smoke step.
+func FuzzGridLumpedOracle(f *testing.F) {
+	f.Add(int64(1), uint8(2), uint8(0))
+	f.Add(int64(7), uint8(4), uint8(3))
+	f.Add(int64(42), uint8(1), uint8(5))
+	f.Add(int64(-9), uint8(255), uint8(8))
+	f.Fuzz(func(t *testing.T, seed int64, nTraces uint8, grid uint8) {
+		n := int(nTraces%4) + 1
+		rng := rand.New(rand.NewSource(seed))
+		traces := make([]PowerTrace, n)
+		for i := range traces {
+			freq := 0.4 + 4*rng.Float64() // 0.4–4.4 GHz
+			tr := PowerTrace{WindowCycles: 1 + rng.Intn(128), FrequencyGHz: freq}
+			// Windows stay modest so the droop integration (2 ns step cap)
+			// remains fast under the fuzzer.
+			for j, points := 0, rng.Intn(24); j < points; j++ {
+				cycles := uint64(1 + rng.Intn(tr.WindowCycles))
+				e := rng.Float64() * 1000
+				p := TracePoint{Cycles: cycles, EnergyPJ: e}
+				p.PowerW = e / float64(cycles) * freq / 1000
+				tr.Points = append(tr.Points, p)
+			}
+			traces[i] = tr
+		}
+		windowNS := 16 + rng.Float64()*64
+		chip, err := SumTracesTime(windowNS, nil, traces...)
+		if err != nil {
+			t.Fatalf("chip aggregation: %v", err)
+		}
+
+		// 1×1 equivalence: the grid solvers are the lumped models.
+		gs, gt := DefaultGridSupplyModel(1, 1), DefaultGridThermalModel(1, 1)
+		droops, err := gs.NodeDroopsMV([]PowerTrace{chip})
+		if err != nil {
+			t.Fatalf("1x1 droop solve: %v", err)
+		}
+		if want := gs.Node.WorstDroopMV(chip); math.Abs(droops[0]-want) > 1e-9*math.Max(1, want) {
+			t.Errorf("1x1 grid droop %.17g mV, lumped %.17g mV", droops[0], want)
+		}
+		temps, err := gt.NodeTempsC([]PowerTrace{chip})
+		if err != nil {
+			t.Fatalf("1x1 thermal solve: %v", err)
+		}
+		if want := gt.Node.SteadyTempC(chip); math.Abs(temps[0]-want) > 1e-9*math.Max(1, want) {
+			t.Errorf("1x1 grid temp %.17g °C, lumped %.17g °C", temps[0], want)
+		}
+
+		// Per-node partition: a random floorplan's node aggregates must carry
+		// exactly the chip energy between them.
+		rows, cols := int(grid%3)+1, int(grid/3%3)+1
+		nodeOf := make([]int, n)
+		for i := range nodeOf {
+			nodeOf[i] = rng.Intn(rows * cols)
+		}
+		var nodeEnergy float64
+		for k := 0; k < rows*cols; k++ {
+			var members []PowerTrace
+			for i, tr := range traces {
+				if nodeOf[i] == k {
+					members = append(members, tr)
+				}
+			}
+			if len(members) == 0 {
+				continue
+			}
+			node, err := SumTracesTime(windowNS, nil, members...)
+			if err != nil {
+				t.Fatalf("node %d aggregation: %v", k, err)
+			}
+			nodeEnergy += node.TotalEnergyPJ()
+		}
+		if want := chip.TotalEnergyPJ(); math.Abs(nodeEnergy-want) > 1e-9*math.Max(1, want) {
+			t.Errorf("node energies sum to %v pJ, chip trace holds %v pJ", nodeEnergy, want)
+		}
+	})
+}

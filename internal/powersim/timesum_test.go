@@ -108,6 +108,25 @@ func TestSumTracesTimeRejectsBadInputs(t *testing.T) {
 	}
 }
 
+// TestSumTracesTimeValidatesOffsetsOfEmptyTraces is the regression pin for
+// the offset-validation hole: offsets used to be checked only inside the
+// non-empty-trace branch of the span pass, so a bad offset paired with an
+// empty trace sailed through validation and took effect silently if the
+// trace ever gained points.
+func TestSumTracesTimeValidatesOffsetsOfEmptyTraces(t *testing.T) {
+	full := flatTraceAt(4, 64, 2.0, 1.0)
+	empty := PowerTrace{WindowCycles: 64, FrequencyGHz: 2}
+	for _, bad := range []float64{-1, math.NaN(), math.Inf(1)} {
+		if _, err := SumTracesTime(32, []float64{0, bad}, full, empty); err == nil {
+			t.Errorf("offset %v on an empty trace should be rejected", bad)
+		}
+	}
+	// A valid offset on an empty trace stays legal (and inert).
+	if _, err := SumTracesTime(32, []float64{0, 1e6}, full, empty); err != nil {
+		t.Errorf("valid offset on an empty trace should be accepted: %v", err)
+	}
+}
+
 // TestSteadyTempLongWindowNoOvershoot is the regression pin for the thermal
 // integrator: a window with dt > Rth·Cth used to take one giant forward-Euler
 // step that overshot the RC response (and, past 2τ, oscillated divergently),

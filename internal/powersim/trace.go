@@ -292,8 +292,19 @@ func SumTracesTime(windowNS float64, offsetsNS []float64, traces ...PowerTrace) 
 	if len(traces) == 0 {
 		return PowerTrace{}, fmt.Errorf("powersim: no traces to sum")
 	}
-	if offsetsNS != nil && len(offsetsNS) != len(traces) {
-		return PowerTrace{}, fmt.Errorf("powersim: %d offsets for %d traces", len(offsetsNS), len(traces))
+	if offsetsNS != nil {
+		if len(offsetsNS) != len(traces) {
+			return PowerTrace{}, fmt.Errorf("powersim: %d offsets for %d traces", len(offsetsNS), len(traces))
+		}
+		// Offsets are validated unconditionally, before the span pass: a
+		// NaN/negative offset paired with an empty trace is just as malformed
+		// as one paired with a non-empty trace, even though the empty trace
+		// contributes no span.
+		for i, off := range offsetsNS {
+			if off < 0 || math.IsInf(off, 0) || math.IsNaN(off) {
+				return PowerTrace{}, fmt.Errorf("powersim: bad time offset %g ns for trace %d", off, i)
+			}
+		}
 	}
 	// The end of the chip waveform, accumulated per trace in exactly the
 	// order the spreading pass below walks it so the two agree bit-for-bit.
@@ -304,11 +315,7 @@ func SumTracesTime(windowNS float64, offsetsNS []float64, traces ...PowerTrace) 
 		}
 		span := 0.0
 		if offsetsNS != nil {
-			off := offsetsNS[i]
-			if off < 0 || math.IsInf(off, 0) || math.IsNaN(off) {
-				return PowerTrace{}, fmt.Errorf("powersim: bad time offset %g ns for trace %d", off, i)
-			}
-			span = off
+			span = offsetsNS[i]
 		}
 		for j, p := range tr.Points {
 			d := tr.PointDurationNS(j)

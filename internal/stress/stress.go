@@ -47,6 +47,19 @@ const (
 	// (big.LITTLE-style) frequency mixes whose chip traces are aggregated in
 	// the time domain. It requires a co-run platform.
 	DVFSNoiseVirus Kind = "dvfs-noise-virus"
+	// SpatialNoiseVirus is the spatially-targeted droop virus: on a
+	// spatial-grid chip it maximizes the chip-worst *node* droop by
+	// phase-aligning the cores a floorplan co-locates so they hammer one
+	// PDN region in lockstep, using the finer per-core PHASE_OFFSET grid of
+	// knobs.SpatialStressSpace. It requires a co-run platform; on a
+	// grid-configured chip chip_worst_droop_mv is the worst node droop.
+	SpatialNoiseVirus Kind = "spatial-noise-virus"
+	// HotspotMigrationVirus is the spatial thermal virus: it maximizes the
+	// chip hotspot temperature (chip_temp_c, the hottest grid node) by
+	// concentrating sustained activity on one die region — migrating the
+	// hotspot away from the uniform-power answer the lumped model reports.
+	// It requires a co-run platform.
+	HotspotMigrationVirus Kind = "hotspot-migration-virus"
 )
 
 // Kinds returns every built-in single-platform stress kind (the ones a plain
@@ -58,13 +71,20 @@ func Kinds() []Kind {
 
 // multiCoreKind reports whether a kind needs the multi-core co-run platform.
 func multiCoreKind(k Kind) bool {
-	return k == CoRunNoiseVirus || k == DVFSNoiseVirus
+	return k == CoRunNoiseVirus || k == DVFSNoiseVirus || k == SpatialNoiseVirus || k == HotspotMigrationVirus
 }
 
 // KindByName resolves a kind name, accepting the built-in kinds plus the
-// multi-core CoRunNoiseVirus and DVFSNoiseVirus.
+// multi-core kinds. The spatial kinds also answer to the short aliases
+// "spatial" and "hotspot" (the cmd/mgbench spellings).
 func KindByName(name string) (Kind, error) {
-	all := append(Kinds(), CoRunNoiseVirus, DVFSNoiseVirus)
+	switch name {
+	case "spatial":
+		return SpatialNoiseVirus, nil
+	case "hotspot":
+		return HotspotMigrationVirus, nil
+	}
+	all := append(Kinds(), CoRunNoiseVirus, DVFSNoiseVirus, SpatialNoiseVirus, HotspotMigrationVirus)
 	for _, k := range all {
 		if string(k) == name {
 			return k, nil
@@ -133,8 +153,10 @@ func (o Options) goal(kind Kind) (string, bool, error) {
 		return metrics.WorstDroopMV, true, nil
 	case ThermalVirus:
 		return metrics.TempC, true, nil
-	case CoRunNoiseVirus, DVFSNoiseVirus:
+	case CoRunNoiseVirus, DVFSNoiseVirus, SpatialNoiseVirus:
 		return metrics.ChipWorstDroopMV, true, nil
+	case HotspotMigrationVirus:
+		return metrics.ChipTempC, true, nil
 	default:
 		return "", false, fmt.Errorf("stress: unknown kind %q and no explicit metric", kind)
 	}
@@ -155,9 +177,12 @@ func (o Options) normalized(kind Kind) Options {
 			if cr, ok := o.Platform.(interface{ NumCores() int }); ok {
 				cores = cr.NumCores()
 			}
-			if kind == DVFSNoiseVirus {
+			switch kind {
+			case DVFSNoiseVirus:
 				o.Space = knobs.DVFSStressSpace(cores)
-			} else {
+			case SpatialNoiseVirus, HotspotMigrationVirus:
+				o.Space = knobs.SpatialStressSpace(cores)
+			default:
 				o.Space = knobs.CoRunStressSpace(cores)
 			}
 		default:

@@ -33,13 +33,15 @@ run "mgbench fig5 quick"  "$bin_dir/mgbench" -experiment fig5 -quick -instructio
 run "mgbench voltage-noise-virus" "$bin_dir/mgbench" -kind voltage-noise-virus -quick -core small -instructions 3000 -trace "$bin_dir/trace.csv"
 run "mgbench thermal-virus"       "$bin_dir/mgbench" -kind thermal-virus -quick -core small -instructions 3000
 run "mgbench corun-noise-virus"   "$bin_dir/mgbench" -kind corun-noise-virus -quick -core small -cores 2 -instructions 3000 -trace "$bin_dir/chip_trace.csv"
+run "mgbench spatial 2x2"         "$bin_dir/mgbench" -kind spatial -quick -core small -cores 4 -grid 2x2 -instructions 3000 -trace "$bin_dir/spatial_trace.csv"
 test -s "$bin_dir/trace.csv" || { echo "FAIL: trace dump is empty" >&2; exit 1; }
 test -s "$bin_dir/chip_trace.csv" || { echo "FAIL: chip trace dump is empty" >&2; exit 1; }
+test -s "$bin_dir/spatial_trace.csv" || { echo "FAIL: spatial chip trace dump is empty" >&2; exit 1; }
 # Trace dumps carry the per-window span: time_ns is the cumulative window
 # end, duration_ns disambiguates time-domain rows (cycles=0) and partial
-# tails.
+# tails. The spatial grid chip must dump the same chip-trace schema.
 want_header='window,cycles,time_ns,duration_ns,energy_pj,power_w'
-for f in trace.csv chip_trace.csv; do
+for f in trace.csv chip_trace.csv spatial_trace.csv; do
     head -1 "$bin_dir/$f" | grep -q "$want_header" || {
         echo "FAIL: $f header lacks duration_ns (got: $(head -1 "$bin_dir/$f"))" >&2
         exit 1
@@ -59,6 +61,20 @@ diff "$bin_dir/dvfs_serial.txt" "$bin_dir/dvfs_parallel.txt" || {
     exit 1
 }
 
+# Spatial-grid chip: the spatial experiment (oblivious co-run baseline, then
+# the floorplan-aware virus on the 2x2 grid) must be bit-deterministic at any
+# parallelism too.
+echo "smoke: mgbench spatial parallel==serial"
+"$bin_dir/mgbench" -experiment spatial -quick -core small -cores 4 -grid 2x2 -instructions 3000 -parallel 1 \
+    | grep -v 'completed in' > "$bin_dir/spatial_serial.txt"
+test -s "$bin_dir/spatial_serial.txt" || { echo "FAIL: spatial run produced no output" >&2; exit 1; }
+"$bin_dir/mgbench" -experiment spatial -quick -core small -cores 4 -grid 2x2 -instructions 3000 -parallel 4 \
+    | grep -v 'completed in' > "$bin_dir/spatial_parallel.txt"
+diff "$bin_dir/spatial_serial.txt" "$bin_dir/spatial_parallel.txt" || {
+    echo "FAIL: spatial chip metrics differ between -parallel 1 and -parallel 4" >&2
+    exit 1
+}
+
 run "mgworkload list"     "$bin_dir/mgworkload" -list
 run "mgworkload measure"  "$bin_dir/mgworkload" -benchmark mcf -instructions 5000
 
@@ -69,6 +85,10 @@ run "mgperf quick"        "$bin_dir/mgperf" -quick -parallel 1 -out "$bin_dir/be
 test -s "$bin_dir/bench_smoke.json" || { echo "FAIL: mgperf wrote no report" >&2; exit 1; }
 grep -q '"synth_memo"' "$bin_dir/bench_smoke.json" || {
     echo "FAIL: mgperf report lacks synth_memo counters" >&2
+    exit 1
+}
+grep -q '"grid_solve"' "$bin_dir/bench_smoke.json" || {
+    echo "FAIL: mgperf report lacks the grid_solve measurement" >&2
     exit 1
 }
 
