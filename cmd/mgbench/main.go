@@ -6,7 +6,8 @@
 //	mgbench -experiment fig2 -csv out/ # also dump CSV data for plotting
 //
 // Experiments: tableI, tableII, fig2, fig3, fig4, fig5, fig6, tableIII,
-// stresscmp, corun, dvfs, spatial, summary, all.
+// stresscmp, corun, dvfs, spatial, summary, all — plus tunercmp, which is not
+// part of "all" (it re-runs the spatial stress problem once per tuner).
 //
 // Alternatively -kind runs a single stress test of any built-in kind
 // (perf-virus, power-virus, voltage-noise-virus, thermal-virus,
@@ -26,11 +27,21 @@
 // experiment compares against the spatially-oblivious co-run virus
 // re-scored on the same grid:
 //
+// Stress tuning is budget-centric: -tuner picks the search mechanism (gd,
+// ga, annealing, random, bruteforce, cmaes, halving-gd, halving-cmaes),
+// -budget caps the proposed evaluations per tuning run, and -power-cap
+// constrains the search to kernels under a dynamic power cap (capped runs
+// also report the objective/power Pareto front). The tunercmp experiment
+// pits a comma-separated -tuner challenger list against the gradient-descent
+// baseline at an equal budget on the spatial-grid chip problem:
+//
 //	mgbench -kind voltage-noise-virus -quick -core small -trace trace.csv
 //	mgbench -kind corun-noise-virus -quick -core small -cores 2
 //	mgbench -experiment dvfs -quick -core small -freqs 2.0,1.2
 //	mgbench -kind spatial -quick -core small -cores 4 -grid 2x2
 //	mgbench -experiment spatial -quick -core small -cores 4 -grid 2x2 -floorplan "0,0;0,0;1,1;1,1"
+//	mgbench -kind power-virus -quick -core small -tuner cmaes -budget 200 -power-cap 30
+//	mgbench -experiment tunercmp -quick -core small -cores 4 -grid 2x2 -tuner cmaes,halving-cmaes
 package main
 
 import (
@@ -64,7 +75,7 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("mgbench", flag.ContinueOnError)
 	var (
-		experiment = fs.String("experiment", "all", "experiment to run: tableI, tableII, fig2, fig3, fig4, fig5, fig6, tableIII, stresscmp, corun, dvfs, spatial, summary, all")
+		experiment = fs.String("experiment", "all", "experiment to run: tableI, tableII, fig2, fig3, fig4, fig5, fig6, tableIII, stresscmp, corun, dvfs, spatial, tunercmp, summary, all")
 		quick      = fs.Bool("quick", false, "use the reduced quick budget (3 benchmarks, short simulations)")
 		csvDir     = fs.String("csv", "", "directory to write CSV data files into (empty = don't write)")
 		dynInstr   = fs.Int("instructions", 0, "override dynamic instructions per evaluation")
@@ -79,6 +90,9 @@ func run(args []string, out io.Writer) error {
 		gridDims   = fs.String("grid", "", "spatial PDN/thermal grid dimensions RxC for the spatial experiment and kinds (e.g. 2x2; empty = near-square grid sized to -cores)")
 		floorplan  = fs.String("floorplan", "", "core placement on the -grid, one row,col pair per core (e.g. \"0,0;0,1;1,0;1,1\"; empty = round-robin)")
 		tracePath  = fs.String("trace", "", "file to write the -kind kernel's windowed power trace into (CSV; empty = don't write)")
+		tunerName  = fs.String("tuner", "", "stress-tuning mechanism: gd, ga, annealing, random, bruteforce, cmaes, halving-gd, halving-cmaes (empty = gd); for -experiment tunercmp, a comma-separated challenger list")
+		maxEvals   = fs.Int("budget", 0, "proposed-evaluation budget per stress tuning run (0 = bounded by epochs only)")
+		powerCap   = fs.Float64("power-cap", 0, "dynamic power cap in watts for stress tuning (0 = uncapped; capped runs report the objective/power Pareto front)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -102,6 +116,23 @@ func run(args []string, out io.Writer) error {
 	}
 	if *parallel > 0 {
 		budget.Parallel = *parallel
+	}
+	if *maxEvals > 0 {
+		budget.MaxEvaluations = *maxEvals
+	}
+	if *powerCap > 0 {
+		budget.PowerCapW = *powerCap
+	}
+	var challengers []string
+	if *tunerName != "" {
+		for _, name := range strings.Split(*tunerName, ",") {
+			challengers = append(challengers, strings.ToLower(strings.TrimSpace(name)))
+		}
+		if len(challengers) == 1 {
+			budget.Tuner = challengers[0]
+		} else if strings.ToLower(*experiment) != "tunercmp" {
+			return fmt.Errorf("a comma-separated -tuner list is only valid with -experiment tunercmp")
+		}
 	}
 
 	freqs, err := parseFreqs(*freqList)
@@ -127,7 +158,7 @@ func run(args []string, out io.Writer) error {
 
 	ctx := context.Background()
 	runner := &suite{out: out, csvDir: *csvDir, budget: budget, core: strings.ToLower(*coreName),
-		cores: *cores, freqs: freqs, rows: rows, cols: cols, fp: fp}
+		cores: *cores, freqs: freqs, rows: rows, cols: cols, fp: fp, tuners: challengers}
 	// -kind and -core are normalized like -experiment, so "Voltage-Noise-Virus"
 	// or "SMALL" work the same as their lower-case spellings.
 	if *kind != "" {
@@ -268,6 +299,8 @@ type suite struct {
 	// kinds (fp nil = round-robin default floorplan).
 	rows, cols int
 	fp         *multicore.Floorplan
+	// tuners is the tunercmp challenger list from -tuner (nil = defaults).
+	tuners []string
 
 	fig2 *experiments.CloningResult
 	fig4 *experiments.CloningResult
@@ -384,6 +417,17 @@ func (s *suite) runOne(ctx context.Context, which string) error {
 		fmt.Fprintln(s.out, res.Render())
 		if s.csvDir != "" {
 			return writeCSVFile(filepath.Join(s.csvDir, "spatial.csv"), func(w io.Writer) error {
+				return report.SeriesCSV(w, res.Series()...)
+			})
+		}
+	case "tunercmp":
+		res, err := experiments.RunTunerCmp(ctx, s.core, s.cores, s.rows, s.cols, s.tuners, s.budget)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(s.out, res.Render())
+		if s.csvDir != "" {
+			return writeCSVFile(filepath.Join(s.csvDir, "tunercmp.csv"), func(w io.Writer) error {
 				return report.SeriesCSV(w, res.Series()...)
 			})
 		}

@@ -13,7 +13,10 @@
 //     GridThermalModel.NodeTempsC on a 2x2 grid) in ns/call — the extra
 //     per-candidate work a spatial stress tuning epoch pays;
 //   - the evaluation-memo and synthesis-memo hit/miss counters of a
-//     repeated-configuration pass.
+//     repeated-configuration pass;
+//   - the reduced-fidelity screening speedup (the same batch re-simulated at
+//     Fidelity 0.25 with warm synthesis memos) — the per-candidate saving a
+//     successive-halving screening rung banks on.
 //
 // A previous run's output can be embedded via -baseline, which also records
 // the evaluations/sec speedup of the current build over it:
@@ -81,6 +84,18 @@ type GridSolveCost struct {
 	CallsPerSec float64 `json:"calls_per_sec"`
 }
 
+// FidelityCost compares a reduced-fidelity evaluation pass against a
+// full-fidelity pass over the same configurations, both with warm synthesis
+// memos so only the simulation window differs.
+type FidelityCost struct {
+	Fidelity    float64 `json:"fidelity"`
+	Seconds     float64 `json:"seconds"`
+	FullSeconds float64 `json:"full_seconds"`
+	// Speedup is full/reduced wall-clock — how much cheaper one screening
+	// evaluation is.
+	Speedup float64 `json:"speedup"`
+}
+
 // MemoCounters are cache hit/miss counters of a memoized component.
 type MemoCounters struct {
 	Hits   uint64 `json:"hits"`
@@ -103,6 +118,9 @@ type Measurement struct {
 	// SynthMemo counts the kernel-synthesis memo's hits/misses over the same
 	// pass (absent pre-redesign builds report zeros).
 	SynthMemo MemoCounters `json:"synth_memo"`
+	// Fidelity is the reduced-fidelity screening cost (zero in reports from
+	// builds that predate multi-fidelity evaluation).
+	Fidelity FidelityCost `json:"fidelity"`
 }
 
 // Report is the BENCH_<n>.json document.
@@ -209,6 +227,16 @@ func run(args []string, out io.Writer) error {
 	m.EvalMemo, m.SynthMemo = em, sm
 	fmt.Fprintf(out, "eval memo: %d hits / %d misses; synth memo: %d hits / %d misses\n",
 		em.Hits, em.Misses, sm.Hits, sm.Misses)
+
+	// Reduced-fidelity screening cost: the successive-halving rungs buy their
+	// budget savings with shorter simulation windows on already-synthesized
+	// kernels.
+	fc, err := measureFidelity(cfgs, wl)
+	if err != nil {
+		return err
+	}
+	m.Fidelity = fc
+	fmt.Fprintf(out, "fidelity %.2f screening: %.2fx cheaper than full evaluations\n", fc.Fidelity, fc.Speedup)
 
 	rep := Report{PR: *prNum, Workload: wl, Current: m}
 	if *basePath != "" {
@@ -452,6 +480,51 @@ func measureMemo(cfgs []knobs.Config, wl Workload) (MemoCounters, MemoCounters, 
 	em := MemoCounters{Hits: memo.Hits(), Misses: memo.Misses()}
 	sh, sm := syn.Stats()
 	return em, MemoCounters{Hits: sh, Misses: sm}, nil
+}
+
+// measureFidelity times one full-fidelity and one reduced-fidelity pass over
+// a bounded slice of the batch, both after a warm-up pass that fills the
+// synthesis memo, so the difference is simulation-window cost only.
+func measureFidelity(cfgs []knobs.Config, wl Workload) (FidelityCost, error) {
+	if len(cfgs) > 8 {
+		cfgs = cfgs[:8]
+	}
+	const screeningFidelity = 0.25
+	syn := microprobe.NewCachingSynthesizer(microprobe.Options{LoopSize: wl.LoopSize, Seed: wl.Seed})
+	plat, err := platform.NewSimPlatform(platform.Large())
+	if err != nil {
+		return FidelityCost{}, err
+	}
+	session := platform.NewEvalSession(plat, syn)
+	pass := func(fidelity float64) (float64, error) {
+		start := time.Now()
+		for _, cfg := range cfgs {
+			opts := platform.EvalOptions{DynamicInstructions: wl.DynamicInstructions, Seed: wl.Seed,
+				CollectPower: true, Fidelity: fidelity}
+			if _, err := session.Evaluate(platform.EvalRequest{Name: "mgperf", Config: cfg, Options: opts}); err != nil {
+				return 0, err
+			}
+		}
+		return time.Since(start).Seconds(), nil
+	}
+	// Warm-up fills the synthesis memo; the timed passes then pay simulation
+	// cost only.
+	if _, err := pass(1); err != nil {
+		return FidelityCost{}, err
+	}
+	full, err := pass(1)
+	if err != nil {
+		return FidelityCost{}, err
+	}
+	reduced, err := pass(screeningFidelity)
+	if err != nil {
+		return FidelityCost{}, err
+	}
+	fc := FidelityCost{Fidelity: screeningFidelity, Seconds: reduced, FullSeconds: full}
+	if reduced > 0 {
+		fc.Speedup = full / reduced
+	}
+	return fc, nil
 }
 
 // loadBaseline reads a previous report (or bare measurement) as the baseline.

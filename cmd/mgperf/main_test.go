@@ -44,6 +44,9 @@ func TestRunQuickWritesReport(t *testing.T) {
 	if rep.Current.SynthMemo.Hits == 0 || rep.Current.SynthMemo.Misses == 0 {
 		t.Errorf("synthesis memo never exercised: %+v", rep.Current.SynthMemo)
 	}
+	if f := rep.Current.Fidelity; f.Fidelity != 0.25 || f.Seconds <= 0 || f.FullSeconds <= 0 || f.Speedup <= 0 {
+		t.Errorf("bad fidelity measurement: %+v", f)
+	}
 
 	// A second run against the first as baseline embeds it and records the
 	// serial-path speedup.

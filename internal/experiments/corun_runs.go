@@ -14,7 +14,6 @@ import (
 	"micrograd/internal/report"
 	"micrograd/internal/sched"
 	"micrograd/internal/stress"
-	"micrograd/internal/tuner"
 )
 
 // CoRunResult is the outcome of the chip-level co-run stress experiment: the
@@ -76,15 +75,21 @@ func runCoRun(ctx context.Context, coreName string, cores int, b Budget, withBas
 			if err != nil {
 				return err
 			}
+			tn, err := b.stressTuner()
+			if err != nil {
+				return err
+			}
 			corun, err = stress.Run(ctx, stress.CoRunNoiseVirus, stress.Options{
-				Tuner:       tuner.NewGradientDescent(tuner.GDParams{}),
-				Platform:    plat,
-				EvalOptions: platform.EvalOptions{DynamicInstructions: b.DynamicInstructions, Seed: b.Seed},
-				LoopSize:    b.LoopSize,
-				Seed:        b.Seed,
-				MaxEpochs:   b.StressEpochs,
-				Parallel:    candWorkers,
-				NewPlatform: func() (platform.Platform, error) { return multicore.New(spec, corePar) },
+				Tuner:          tn,
+				Platform:       plat,
+				EvalOptions:    platform.EvalOptions{DynamicInstructions: b.DynamicInstructions, Seed: b.Seed},
+				LoopSize:       b.LoopSize,
+				Seed:           b.Seed,
+				MaxEpochs:      b.StressEpochs,
+				MaxEvaluations: b.MaxEvaluations,
+				PowerCapW:      b.PowerCapW,
+				Parallel:       candWorkers,
+				NewPlatform:    func() (platform.Platform, error) { return multicore.New(spec, corePar) },
 			})
 			if err != nil {
 				return fmt.Errorf("experiments: corun tuning: %w", err)
@@ -98,15 +103,21 @@ func runCoRun(ctx context.Context, coreName string, cores int, b Budget, withBas
 			if err != nil {
 				return err
 			}
+			tn, err := b.stressTuner()
+			if err != nil {
+				return err
+			}
 			baseline, err = stress.Run(ctx, stress.VoltageNoiseVirus, stress.Options{
-				Tuner:       tuner.NewGradientDescent(tuner.GDParams{}),
-				Platform:    plat,
-				EvalOptions: platform.EvalOptions{DynamicInstructions: b.DynamicInstructions, Seed: b.Seed},
-				LoopSize:    b.LoopSize,
-				Seed:        b.Seed,
-				MaxEpochs:   b.StressEpochs,
-				Parallel:    inner,
-				NewPlatform: func() (platform.Platform, error) { return platform.NewSimPlatform(core) },
+				Tuner:          tn,
+				Platform:       plat,
+				EvalOptions:    platform.EvalOptions{DynamicInstructions: b.DynamicInstructions, Seed: b.Seed},
+				LoopSize:       b.LoopSize,
+				Seed:           b.Seed,
+				MaxEpochs:      b.StressEpochs,
+				MaxEvaluations: b.MaxEvaluations,
+				PowerCapW:      b.PowerCapW,
+				Parallel:       inner,
+				NewPlatform:    func() (platform.Platform, error) { return platform.NewSimPlatform(core) },
 			})
 			if err != nil {
 				return fmt.Errorf("experiments: single-core baseline: %w", err)

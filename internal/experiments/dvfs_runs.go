@@ -14,7 +14,6 @@ import (
 	"micrograd/internal/report"
 	"micrograd/internal/sched"
 	"micrograd/internal/stress"
-	"micrograd/internal/tuner"
 )
 
 // DVFSResult is the outcome of the heterogeneous-frequency chip stress
@@ -109,16 +108,22 @@ func runDVFS(ctx context.Context, coreName string, cores int, freqsGHz []float64
 			if err != nil {
 				return stress.Report{}, err
 			}
+			tn, err := b.stressTuner()
+			if err != nil {
+				return stress.Report{}, err
+			}
 			return stress.Run(ctx, kind, stress.Options{
-				Tuner:       tuner.NewGradientDescent(tuner.GDParams{}),
-				Platform:    plat,
-				EvalOptions: platform.EvalOptions{DynamicInstructions: b.DynamicInstructions, Seed: b.Seed},
-				LoopSize:    b.LoopSize,
-				Seed:        b.Seed,
-				MaxEpochs:   b.StressEpochs,
-				Initial:     init,
-				Parallel:    candWorkers,
-				NewPlatform: newCoRun,
+				Tuner:          tn,
+				Platform:       plat,
+				EvalOptions:    platform.EvalOptions{DynamicInstructions: b.DynamicInstructions, Seed: b.Seed},
+				LoopSize:       b.LoopSize,
+				Seed:           b.Seed,
+				MaxEpochs:      b.StressEpochs,
+				MaxEvaluations: b.MaxEvaluations,
+				PowerCapW:      b.PowerCapW,
+				Initial:        init,
+				Parallel:       candWorkers,
+				NewPlatform:    newCoRun,
 			})
 		}
 	}

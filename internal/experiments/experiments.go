@@ -35,6 +35,17 @@ type Budget struct {
 	// BruteForceEvaluations is the evaluation budget of the brute-force
 	// reference search.
 	BruteForceEvaluations int
+	// Tuner names the tuning mechanism of the stress experiments (a
+	// tuner.ByName spelling such as "cmaes" or "halving-gd"); empty keeps
+	// the paper's gradient descent.
+	Tuner string
+	// MaxEvaluations bounds each stress tuning run's proposed-evaluation
+	// budget; zero means unlimited (epochs alone bound the run). The
+	// tunercmp experiment derives its per-tuner budget from it.
+	MaxEvaluations int
+	// PowerCapW constrains stress searches to configurations within the
+	// power cap; zero means unconstrained.
+	PowerCapW float64
 	// Seed drives all stochastic choices.
 	Seed int64
 	// Parallel is the worker count of the parallel evaluation engine:
@@ -100,6 +111,16 @@ func (b Budget) normalized() Budget {
 		b.Parallel = 1
 	}
 	return b
+}
+
+// stressTuner resolves the budget's tuner selection for one stress run.
+// Every call builds a fresh instance so concurrent runs never share tuner
+// state; empty keeps the gradient-descent default.
+func (b Budget) stressTuner() (tuner.Tuner, error) {
+	if b.Tuner == "" {
+		return tuner.NewGradientDescent(tuner.GDParams{}), nil
+	}
+	return tuner.ByName(b.Tuner)
 }
 
 // benchmarks resolves the benchmark subset of the budget.

@@ -12,7 +12,6 @@ import (
 	"micrograd/internal/powersim"
 	"micrograd/internal/report"
 	"micrograd/internal/stress"
-	"micrograd/internal/tuner"
 )
 
 // SpatialResult is the outcome of the spatial-grid chip stress experiment:
@@ -104,17 +103,23 @@ func runSpatial(ctx context.Context, kind stress.Kind, coreName string, cores, r
 		if err != nil {
 			return stress.Report{}, err
 		}
+		tn, err := b.stressTuner()
+		if err != nil {
+			return stress.Report{}, err
+		}
 		return stress.Run(ctx, kind, stress.Options{
-			Space:       space,
-			Tuner:       tuner.NewGradientDescent(tuner.GDParams{}),
-			Platform:    plat,
-			EvalOptions: platform.EvalOptions{DynamicInstructions: b.DynamicInstructions, Seed: b.Seed},
-			LoopSize:    b.LoopSize,
-			Seed:        b.Seed,
-			MaxEpochs:   b.StressEpochs,
-			Initial:     init,
-			Parallel:    candWorkers,
-			NewPlatform: func() (platform.Platform, error) { return multicore.New(spec, corePar) },
+			Space:          space,
+			Tuner:          tn,
+			Platform:       plat,
+			EvalOptions:    platform.EvalOptions{DynamicInstructions: b.DynamicInstructions, Seed: b.Seed},
+			LoopSize:       b.LoopSize,
+			Seed:           b.Seed,
+			MaxEpochs:      b.StressEpochs,
+			MaxEvaluations: b.MaxEvaluations,
+			PowerCapW:      b.PowerCapW,
+			Initial:        init,
+			Parallel:       candWorkers,
+			NewPlatform:    func() (platform.Platform, error) { return multicore.New(spec, corePar) },
 		})
 	}
 

@@ -11,7 +11,6 @@ import (
 	"micrograd/internal/report"
 	"micrograd/internal/sched"
 	"micrograd/internal/stress"
-	"micrograd/internal/tuner"
 )
 
 // StressKindRun is one tuned stress test of a given kind, together with the
@@ -42,15 +41,21 @@ func RunStressKind(ctx context.Context, kind stress.Kind, coreName string, b Bud
 	if err != nil {
 		return StressKindRun{}, err
 	}
+	tn, err := b.stressTuner()
+	if err != nil {
+		return StressKindRun{}, err
+	}
 	rep, err := stress.Run(ctx, kind, stress.Options{
-		Tuner:       tuner.NewGradientDescent(tuner.GDParams{}),
-		Platform:    plat,
-		EvalOptions: platform.EvalOptions{DynamicInstructions: b.DynamicInstructions, Seed: b.Seed},
-		LoopSize:    b.LoopSize,
-		Seed:        b.Seed,
-		MaxEpochs:   b.StressEpochs,
-		Parallel:    b.Parallel,
-		NewPlatform: func() (platform.Platform, error) { return platform.NewSimPlatform(core) },
+		Tuner:          tn,
+		Platform:       plat,
+		EvalOptions:    platform.EvalOptions{DynamicInstructions: b.DynamicInstructions, Seed: b.Seed},
+		LoopSize:       b.LoopSize,
+		Seed:           b.Seed,
+		MaxEpochs:      b.StressEpochs,
+		MaxEvaluations: b.MaxEvaluations,
+		PowerCapW:      b.PowerCapW,
+		Parallel:       b.Parallel,
+		NewPlatform:    func() (platform.Platform, error) { return platform.NewSimPlatform(core) },
 	})
 	if err != nil {
 		return StressKindRun{}, fmt.Errorf("experiments: stress %s: %w", kind, err)

@@ -236,7 +236,11 @@ func (c *CoRunPlatform) Evaluations() uint64 { return c.evaluations.Load() }
 // EvaluateRequest implements platform.RequestEvaluator — the one evaluation
 // path every legacy Evaluate* method shims onto. A single program fans out to
 // every core; FreqOverrides apply per core; DetailTrace adds the summed chip
-// trace and DetailResult the raw per-core simulation results.
+// trace and DetailResult the raw per-core simulation results. Options.Fidelity
+// shortens every core's simulated window (each per-core simulator applies it),
+// so reduced-fidelity chip evaluations — the successive-halving screening
+// rungs — are proportionally cheaper while still producing the chip-level
+// metrics a power cap constrains on.
 func (c *CoRunPlatform) EvaluateRequest(req platform.EvalRequest) (platform.EvalResponse, error) {
 	if len(req.Programs) == 0 {
 		if !req.Config.IsZero() {

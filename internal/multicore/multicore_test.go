@@ -88,6 +88,39 @@ func TestCoRunEvaluateProducesChipMetrics(t *testing.T) {
 	}
 }
 
+// TestCoRunFidelityShortensChipTrace pins the multi-fidelity contract on the
+// chip path: a reduced-fidelity request shrinks every core's simulated window
+// (and with it the aggregated chip trace) while still producing the chip
+// metrics the tuner's power cap constrains on.
+func TestCoRunFidelityShortensChipTrace(t *testing.T) {
+	p := testKernel(t)
+	c := twoSmall(t, 1)
+	eval := func(fidelity float64) platform.EvalResponse {
+		t.Helper()
+		resp, err := c.EvaluateRequest(platform.EvalRequest{
+			Programs: []*program.Program{p},
+			Options:  platform.EvalOptions{DynamicInstructions: 8000, Seed: 1, Fidelity: fidelity},
+			Detail:   platform.DetailTrace,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+	full := eval(0)
+	half := eval(0.5)
+	if len(half.Trace.Points) == 0 || len(half.Trace.Points) >= len(full.Trace.Points) {
+		t.Errorf("fidelity 0.5 chip trace has %d windows, want fewer than the full run's %d (and > 0)",
+			len(half.Trace.Points), len(full.Trace.Points))
+	}
+	for _, v := range []metrics.Vector{full.Metrics, half.Metrics} {
+		if v[metrics.ChipPowerW] <= 0 || v[metrics.ChipWorstDroopMV] <= 0 {
+			t.Errorf("chip cap metrics missing at reduced fidelity: power %v, droop %v",
+				v[metrics.ChipPowerW], v[metrics.ChipWorstDroopMV])
+		}
+	}
+}
+
 func TestCoRunParallelBitIdenticalToSerial(t *testing.T) {
 	p := testKernel(t)
 	opts := platform.EvalOptions{DynamicInstructions: 6000, Seed: 1}

@@ -164,13 +164,37 @@ type EvalOptions struct {
 	// rescales the cycle results onto a different time base, which is what
 	// changes power, droop and temperature.
 	FrequencyGHz float64
+	// Fidelity in (0,1) shortens the simulated window to that fraction of
+	// DynamicInstructions (floored at MinFidelityInstructions so the window
+	// still reaches loop steady state). It is an evaluation-time knob only —
+	// the program and its synthesis cache key are unaffected — which is what
+	// lets multi-fidelity tuners reuse synthesized kernels across rungs.
+	// Zero or one means full fidelity.
+	Fidelity float64
 }
 
-// normalized fills in defaults.
+// MinFidelityInstructions is the shortest simulation window a reduced
+// fidelity may select: enough to clear cache warmup and settle the loop
+// behaviour of the ~500-instruction kernels.
+const MinFidelityInstructions = 2000
+
+// normalized fills in defaults and applies the fidelity scaling (exactly
+// once: the scaled options report Fidelity == 0 so a second normalization is
+// a no-op).
 func (o EvalOptions) normalized() EvalOptions {
 	if o.DynamicInstructions == 0 {
 		o.DynamicInstructions = DefaultDynamicInstructions
 	}
+	if o.Fidelity > 0 && o.Fidelity < 1 {
+		scaled := int(float64(o.DynamicInstructions) * o.Fidelity)
+		if scaled < MinFidelityInstructions {
+			scaled = MinFidelityInstructions
+		}
+		if scaled < o.DynamicInstructions {
+			o.DynamicInstructions = scaled
+		}
+	}
+	o.Fidelity = 0
 	return o
 }
 

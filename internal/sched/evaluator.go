@@ -15,6 +15,11 @@ import (
 // concurrency-safe.
 type EvalFunc func(cfg knobs.Config) (metrics.Vector, error)
 
+// EvalAtFunc is a fidelity-aware EvalFunc: fidelity in (0,1) evaluates a
+// correspondingly shortened simulation (the successive-halving tuner's
+// cheap screening rungs); 0 or 1 is the full evaluation.
+type EvalAtFunc func(cfg knobs.Config, fidelity float64) (metrics.Vector, error)
+
 // BatchEvaluator is the parallel evaluation boundary: implementations
 // evaluate a batch of independent configurations, returning results[i] for
 // cfgs[i]. Results must be identical to evaluating the configurations one by
@@ -27,12 +32,17 @@ type BatchEvaluator interface {
 // ParallelEvaluator fans evaluations out over a fixed set of worker
 // evaluators. It implements BatchEvaluator and, via Evaluate, the tuner
 // package's Evaluator interface, so it can be dropped into any Problem.
+// Pools built with NewParallelEvaluatorAt additionally serve fidelity-bound
+// evaluations (EvaluateAt/EvaluateBatchAt) for multi-fidelity tuners.
 type ParallelEvaluator struct {
-	// slots holds one EvalFunc per worker; an EvalFunc is checked out for
-	// the duration of one evaluation, so each is only ever used by one
+	// slots holds one worker per entry; a worker is checked out for the
+	// duration of one evaluation, so each is only ever used by one
 	// goroutine at a time.
-	slots chan EvalFunc
+	slots chan EvalAtFunc
 	n     int
+	// fidelityCapable records whether the workers honour reduced fidelity
+	// (pools built from plain EvalFuncs ignore it).
+	fidelityCapable bool
 }
 
 // NewParallelEvaluator builds a pool of workers evaluator instances from the
@@ -40,8 +50,25 @@ type ParallelEvaluator struct {
 // called once per worker and must return evaluators that are independent of
 // each other (typically each wraps its own simulation platform).
 func NewParallelEvaluator(workers int, factory func() (EvalFunc, error)) (*ParallelEvaluator, error) {
+	pe, err := NewParallelEvaluatorAt(workers, func() (EvalAtFunc, error) {
+		f, err := factory()
+		if err != nil || f == nil {
+			return nil, err
+		}
+		return func(cfg knobs.Config, _ float64) (metrics.Vector, error) { return f(cfg) }, nil
+	})
+	if pe != nil {
+		pe.fidelityCapable = false
+	}
+	return pe, err
+}
+
+// NewParallelEvaluatorAt is NewParallelEvaluator for fidelity-aware
+// workers: each worker evaluates (configuration, fidelity) pairs, so one
+// pool serves every rung of a successive-halving run.
+func NewParallelEvaluatorAt(workers int, factory func() (EvalAtFunc, error)) (*ParallelEvaluator, error) {
 	workers = Workers(workers, 0)
-	slots := make(chan EvalFunc, workers)
+	slots := make(chan EvalAtFunc, workers)
 	for i := 0; i < workers; i++ {
 		f, err := factory()
 		if err != nil {
@@ -52,28 +79,42 @@ func NewParallelEvaluator(workers int, factory func() (EvalFunc, error)) (*Paral
 		}
 		slots <- f
 	}
-	return &ParallelEvaluator{slots: slots, n: workers}, nil
+	return &ParallelEvaluator{slots: slots, n: workers, fidelityCapable: true}, nil
 }
 
 // Workers returns the pool size.
 func (e *ParallelEvaluator) Workers() int { return e.n }
 
+// FidelityCapable reports whether the workers honour reduced fidelity.
+func (e *ParallelEvaluator) FidelityCapable() bool { return e.fidelityCapable }
+
 // Evaluate evaluates a single configuration on any free worker. It is safe
 // for concurrent use.
 func (e *ParallelEvaluator) Evaluate(cfg knobs.Config) (metrics.Vector, error) {
+	return e.EvaluateAt(cfg, 1)
+}
+
+// EvaluateAt evaluates a single configuration at the given fidelity on any
+// free worker. It is safe for concurrent use.
+func (e *ParallelEvaluator) EvaluateAt(cfg knobs.Config, fidelity float64) (metrics.Vector, error) {
 	f := <-e.slots
 	defer func() { e.slots <- f }()
-	return f(cfg)
+	return f(cfg, fidelity)
 }
 
 // EvaluateBatch implements BatchEvaluator: the configurations are evaluated
 // concurrently across the pool and the results returned in input order.
 func (e *ParallelEvaluator) EvaluateBatch(ctx context.Context, cfgs []knobs.Config) ([]metrics.Vector, error) {
+	return e.EvaluateBatchAt(ctx, cfgs, 1)
+}
+
+// EvaluateBatchAt is EvaluateBatch at an explicit fidelity.
+func (e *ParallelEvaluator) EvaluateBatchAt(ctx context.Context, cfgs []knobs.Config, fidelity float64) ([]metrics.Vector, error) {
 	out := make([]metrics.Vector, len(cfgs))
 	err := Run(ctx, e.n, len(cfgs), func(_ context.Context, i int) error {
 		f := <-e.slots
 		defer func() { e.slots <- f }()
-		v, err := f(cfgs[i])
+		v, err := f(cfgs[i], fidelity)
 		if err != nil {
 			return err
 		}

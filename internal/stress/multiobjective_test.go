@@ -1,0 +1,80 @@
+package stress
+
+import (
+	"context"
+	"testing"
+
+	"micrograd/internal/metrics"
+)
+
+// TestVoltageNoiseVirusParetoUnderPowerCap runs the README's multi-objective
+// example — maximize worst-case droop subject to a dynamic power cap, with
+// power itself as the secondary objective — and checks the report surfaces:
+// the cap is echoed, every front point is feasible, the front is sorted from
+// most to least stressed, and the best full-fidelity configuration leads it.
+func TestVoltageNoiseVirusParetoUnderPowerCap(t *testing.T) {
+	opts := testOptions(t)
+	opts.PowerCapW = 50 // generous: binds nothing, exercises the whole path
+	opts.SecondaryMetric = metrics.DynamicPowerW
+	opts.MaxEvaluations = 150
+	rep, err := Run(context.Background(), VoltageNoiseVirus, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.PowerCapW != 50 {
+		t.Errorf("report echoes cap %v, want 50", rep.PowerCapW)
+	}
+	if rep.Evaluations > 150 {
+		t.Errorf("spent %d evaluations, budget is 150", rep.Evaluations)
+	}
+	if len(rep.Pareto) == 0 {
+		t.Fatal("multi-objective run reported no Pareto front")
+	}
+	for i, p := range rep.Pareto {
+		if p.Metrics[metrics.DynamicPowerW] > 50 {
+			t.Errorf("front point %d infeasible: %.2f W over the cap", i, p.Metrics[metrics.DynamicPowerW])
+		}
+		if p.Secondary != p.Metrics[metrics.DynamicPowerW] {
+			t.Errorf("front point %d secondary %.3f != measured power %.3f",
+				i, p.Secondary, p.Metrics[metrics.DynamicPowerW])
+		}
+		if p.Config.IsZero() || p.Value <= 0 {
+			t.Errorf("front point %d lacks a config or a positive droop (%v)", i, p.Value)
+		}
+		if i > 0 && p.Value > rep.Pareto[i-1].Value {
+			t.Errorf("front not sorted most-stressed first at point %d", i)
+		}
+	}
+	if lead := rep.Pareto[0].Value; lead != rep.BestValue {
+		t.Errorf("front leads with %.3f mV, want the run's best %.3f mV", lead, rep.BestValue)
+	}
+	if rep.TunerResult.Pareto == nil {
+		t.Error("raw tuner result should carry the loss-space front")
+	}
+}
+
+// TestPowerCapBindsOnPowerVirus caps the power virus below what the
+// unconstrained search reaches: the capped run's winner must respect the cap
+// while the search still makes progress under it.
+func TestPowerCapBindsOnPowerVirus(t *testing.T) {
+	free, err := Run(context.Background(), PowerVirus, testOptions(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cap := 0.9 * free.BestValue
+	opts := testOptions(t)
+	opts.PowerCapW = cap
+	capped, err := Run(context.Background(), PowerVirus, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if capped.PowerCapW != cap {
+		t.Errorf("report echoes cap %v, want %v", capped.PowerCapW, cap)
+	}
+	if capped.BestValue > cap {
+		t.Errorf("capped power virus reached %.3f W, cap is %.3f W", capped.BestValue, cap)
+	}
+	if capped.BestValue <= 0 {
+		t.Errorf("capped run found no feasible kernel (best %.3f W)", capped.BestValue)
+	}
+}

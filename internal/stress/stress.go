@@ -119,6 +119,24 @@ type Options struct {
 	Seed int64
 	// MaxEpochs bounds tuning; zero means DefaultMaxEpochs.
 	MaxEpochs int
+	// MaxEvaluations bounds the total number of candidate evaluations the
+	// tuner may propose (tuner.Problem.MaxEvaluations); zero means
+	// unlimited. Budget-planned tuners (the successive-halving wrapper)
+	// require it.
+	MaxEvaluations int
+	// TargetValue optionally stops the search once the stressed metric
+	// reaches it (at or below for minimized metrics, at or above for
+	// maximized ones). Nil disables the early stop.
+	TargetValue *float64
+	// PowerCapW constrains the search to configurations whose measured
+	// power stays at or below the cap — chip_power_w on co-run platforms,
+	// dynamic_power_w otherwise. Zero or negative means unconstrained.
+	PowerCapW float64
+	// SecondaryMetric adds an optional second objective; the report then
+	// carries the Pareto front of (primary, secondary) over the feasible
+	// configurations evaluated. SecondaryMaximize selects its direction.
+	SecondaryMetric   string
+	SecondaryMaximize bool
 	// Metric overrides the stressed metric (default: IPC or dynamic power
 	// depending on Kind). Maximize selects the direction for custom metrics.
 	Metric   string
@@ -207,6 +225,24 @@ type EpochPoint struct {
 	BestValue float64
 	// Evaluations is the number of platform evaluations spent in the epoch.
 	Evaluations int
+	// CumulativeEvaluations is the run's total evaluation count at the end
+	// of the epoch — the fair x-axis when comparing tuning mechanisms with
+	// different per-epoch costs.
+	CumulativeEvaluations int
+}
+
+// ParetoPoint is one non-dominated configuration of a multi-objective run,
+// reported in metric space (the tuner's loss space is an implementation
+// detail).
+type ParetoPoint struct {
+	// Config is the configuration.
+	Config knobs.Config
+	// Value is its primary stressed-metric value.
+	Value float64
+	// Secondary is its secondary-metric value.
+	Secondary float64
+	// Metrics is its full measured vector.
+	Metrics metrics.Vector
 }
 
 // Report is the outcome of one stress-testing run.
@@ -245,6 +281,13 @@ type Report struct {
 	Epochs      int
 	Evaluations int
 	Converged   bool
+	// PowerCapW echoes the power cap the search ran under (0 when
+	// unconstrained).
+	PowerCapW float64
+	// Pareto is the front of non-dominated (Value, Secondary) configurations
+	// when Options.SecondaryMetric was set, in metric space, sorted by the
+	// primary metric from most to least stressed.
+	Pareto []ParetoPoint
 	// TunerResult carries the raw tuning output.
 	TunerResult tuner.Result
 }
@@ -283,7 +326,7 @@ func Run(ctx context.Context, kind Kind, opts Options) (Report, error) {
 			kind, metric, opts.Platform.Name(), CoRunNoiseVirus, DVFSNoiseVirus)
 	}
 	evalOpts := opts.EvalOptions
-	if powerDerived(metric) {
+	if powerDerived(metric) || opts.PowerCapW > 0 || powerDerived(opts.SecondaryMetric) {
 		evalOpts.CollectPower = true
 	}
 
@@ -293,27 +336,31 @@ func Run(ctx context.Context, kind Kind, opts Options) (Report, error) {
 	// clocks, start skews) reuse the already-synthesized kernels.
 	syn := microprobe.NewSynthesizer(microprobe.Options{LoopSize: opts.LoopSize, Seed: opts.Seed})
 	csyn := microprobe.NewCachingSynthesizer(microprobe.Options{LoopSize: opts.LoopSize, Seed: opts.Seed})
-	synthEval := func(plat platform.Platform) sched.EvalFunc {
+	synthEval := func(plat platform.Platform) sched.EvalAtFunc {
 		if re, ok := plat.(platform.RequestEvaluator); ok {
 			session := platform.NewEvalSession(re, csyn)
-			return func(cfg knobs.Config) (metrics.Vector, error) {
+			return func(cfg knobs.Config, fidelity float64) (metrics.Vector, error) {
+				o := evalOpts
+				o.Fidelity = fidelity
 				resp, err := session.Evaluate(platform.EvalRequest{
-					Name: string(kind), Config: cfg, Options: evalOpts,
+					Name: string(kind), Config: cfg, Options: o,
 				})
 				return resp.Metrics, err
 			}
 		}
-		return func(cfg knobs.Config) (metrics.Vector, error) {
+		return func(cfg knobs.Config, fidelity float64) (metrics.Vector, error) {
 			p, err := syn.Synthesize(string(kind), cfg)
 			if err != nil {
 				return nil, err
 			}
-			return plat.Evaluate(p, evalOpts)
+			o := evalOpts
+			o.Fidelity = fidelity
+			return plat.Evaluate(p, o)
 		}
 	}
-	var base tuner.Evaluator = tuner.EvaluatorFunc(synthEval(opts.Platform))
+	var base tuner.Evaluator = tuner.EvaluatorAtFunc(synthEval(opts.Platform))
 	if opts.Parallel > 1 && opts.NewPlatform != nil {
-		pe, err := sched.NewParallelEvaluator(opts.Parallel, func() (sched.EvalFunc, error) {
+		pe, err := sched.NewParallelEvaluatorAt(opts.Parallel, func() (sched.EvalAtFunc, error) {
 			plat, err := opts.NewPlatform()
 			if err != nil {
 				return nil, err
@@ -334,14 +381,34 @@ func Run(ctx context.Context, kind Kind, opts Options) (Report, error) {
 	counting := tuner.NewCountingEvaluator(base)
 	memo := tuner.NewMemoizingEvaluator(counting)
 
+	targetLoss := tuner.NoTargetLoss
+	if opts.TargetValue != nil {
+		// The tuner minimizes loss; maximized metrics are negated, so a
+		// metric target maps onto the loss axis the same way.
+		targetLoss = *opts.TargetValue
+		if maximize {
+			targetLoss = -targetLoss
+		}
+	}
 	prob := tuner.Problem{
-		Space:      opts.Space,
-		Loss:       metrics.StressLoss{Metric: metric, Maximize: maximize},
-		Evaluator:  memo,
-		MaxEpochs:  opts.MaxEpochs,
-		TargetLoss: tuner.NoTargetLoss,
-		Seed:       opts.Seed,
-		Initial:    opts.Initial,
+		Space:          opts.Space,
+		Loss:           metrics.StressLoss{Metric: metric, Maximize: maximize},
+		Evaluator:      memo,
+		MaxEpochs:      opts.MaxEpochs,
+		MaxEvaluations: opts.MaxEvaluations,
+		TargetLoss:     targetLoss,
+		Seed:           opts.Seed,
+		Initial:        opts.Initial,
+	}
+	if opts.SecondaryMetric != "" {
+		prob.Secondary = metrics.StressLoss{Metric: opts.SecondaryMetric, Maximize: opts.SecondaryMaximize}
+	}
+	if opts.PowerCapW > 0 {
+		capMetric := metrics.DynamicPowerW
+		if coRunPlat {
+			capMetric = metrics.ChipPowerW
+		}
+		prob.Constraint = &tuner.Constraint{Metric: capMetric, Max: opts.PowerCapW}
 	}
 	res, err := opts.Tuner.Run(ctx, prob)
 	if err != nil {
@@ -371,7 +438,16 @@ func Run(ctx context.Context, kind Kind, opts Options) (Report, error) {
 		Epochs:      len(res.Epochs),
 		Evaluations: counting.Count(),
 		Converged:   res.Converged,
+		PowerCapW:   opts.PowerCapW,
 		TunerResult: res,
+	}
+	for _, p := range res.Pareto {
+		rep.Pareto = append(rep.Pareto, ParetoPoint{
+			Config:    p.Config,
+			Value:     lossToValue(p.Loss, maximize),
+			Secondary: lossToValue(p.Secondary, opts.SecondaryMaximize),
+			Metrics:   p.Metrics,
+		})
 	}
 	if rd, ok := res.Best.ValueByName(knobs.NameRegDist); ok {
 		rep.RegDist = int(rd)
@@ -401,9 +477,10 @@ func Run(ctx context.Context, kind Kind, opts Options) (Report, error) {
 	}
 	for _, er := range res.Epochs {
 		rep.Progression = append(rep.Progression, EpochPoint{
-			Epoch:       er.Epoch,
-			BestValue:   lossToValue(er.BestLoss, maximize),
-			Evaluations: er.Evaluations,
+			Epoch:                 er.Epoch,
+			BestValue:             lossToValue(er.BestLoss, maximize),
+			Evaluations:           er.Evaluations,
+			CumulativeEvaluations: er.CumulativeEvaluations,
 		})
 	}
 	return rep, nil

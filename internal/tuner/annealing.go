@@ -75,70 +75,49 @@ func (s *SimulatedAnnealing) Params() SAParams { return s.params }
 
 // Run implements Tuner.
 func (s *SimulatedAnnealing) Run(ctx context.Context, prob Problem) (Result, error) {
-	if err := prob.Validate(); err != nil {
-		return Result{}, err
-	}
-	rng := rand.New(rand.NewSource(prob.Seed))
-	res := Result{Tuner: s.Name(), BestLoss: math.Inf(1)}
-
-	current := prob.Initial
-	if current.IsZero() {
-		current = prob.Space.RandomConfig(rng)
-	}
-	currentLoss, currentMetrics, err := evalLoss(prob, prob.Evaluator, current)
-	if err != nil {
-		return res, fmt.Errorf("tuner: sa initial evaluation: %w", err)
-	}
-	res.TotalEvaluations++
-	res.BestLoss = currentLoss
-	res.Best = current.Clone()
-	res.BestMetrics = currentMetrics.Clone()
-
-	temperature := s.params.InitialTemperature
-	for epoch := 0; epoch < prob.MaxEpochs; epoch++ {
-		if err := ctx.Err(); err != nil {
-			return res, err
+	return runEpochs(ctx, s.Name(), prob, func(ctx context.Context, e *engine) (epochStep, error) {
+		rng := rand.New(rand.NewSource(prob.Seed))
+		current := prob.Initial
+		if current.IsZero() {
+			current = prob.Space.RandomConfig(rng)
 		}
-		evalsBefore := res.TotalEvaluations
-		epochBest := currentLoss
-		for move := 0; move < s.params.MovesPerEpoch; move++ {
-			cand := s.neighbour(rng, prob.Space, current)
-			candLoss, candMetrics, err := evalLoss(prob, prob.Evaluator, cand)
-			if err != nil {
-				return res, fmt.Errorf("tuner: sa move evaluation: %w", err)
-			}
-			res.TotalEvaluations++
-			if better(candLoss, res.BestLoss) {
-				res.BestLoss = candLoss
-				res.Best = cand.Clone()
-				res.BestMetrics = candMetrics.Clone()
-			}
-			if candLoss < epochBest {
-				epochBest = candLoss
-			}
-			// Metropolis acceptance: always accept improvements; accept
-			// worsening moves with probability exp(-Δ/T).
-			delta := candLoss - currentLoss
-			if delta <= 0 || rng.Float64() < math.Exp(-delta/math.Max(temperature, 1e-9)) {
-				current = cand
-				currentLoss = candLoss
-			}
+		// The starting point is evaluated before the first epoch (its cost is
+		// not attributed to any epoch record, matching the historical
+		// accounting).
+		currentLoss, _, ok, err := e.evalOne(ctx, current)
+		if err != nil {
+			return nil, fmt.Errorf("tuner: sa initial evaluation: %w", err)
 		}
-		temperature *= s.params.CoolingRate
-
-		res.Epochs = append(res.Epochs, EpochRecord{
-			Epoch:       epoch + 1,
-			BestLoss:    res.BestLoss,
-			EpochLoss:   epochBest,
-			BestMetrics: res.BestMetrics.Clone(),
-			Evaluations: res.TotalEvaluations - evalsBefore,
-		})
-		if prob.hasTarget() && res.BestLoss <= prob.TargetLoss {
-			res.Converged = true
-			break
+		if !ok {
+			currentLoss = math.Inf(1)
 		}
-	}
-	return res, nil
+		temperature := s.params.InitialTemperature
+		return func(ctx context.Context, e *engine, epoch int) (float64, error) {
+			epochBest := currentLoss
+			for move := 0; move < s.params.MovesPerEpoch; move++ {
+				cand := s.neighbour(rng, prob.Space, current)
+				candLoss, _, ok, err := e.evalOne(ctx, cand)
+				if err != nil {
+					return 0, fmt.Errorf("tuner: sa move evaluation: %w", err)
+				}
+				if !ok {
+					break // budget spent mid-epoch
+				}
+				if candLoss < epochBest {
+					epochBest = candLoss
+				}
+				// Metropolis acceptance: always accept improvements; accept
+				// worsening moves with probability exp(-Δ/T).
+				delta := candLoss - currentLoss
+				if delta <= 0 || rng.Float64() < math.Exp(-delta/math.Max(temperature, 1e-9)) {
+					current = cand
+					currentLoss = candLoss
+				}
+			}
+			temperature *= s.params.CoolingRate
+			return epochBest, nil
+		}, nil
+	})
 }
 
 // neighbour perturbs up to MaxKnobsPerMove random knobs by ±1 index.

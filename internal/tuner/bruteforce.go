@@ -3,7 +3,6 @@ package tuner
 import (
 	"context"
 	"fmt"
-	"math"
 	"math/rand"
 
 	"micrograd/internal/knobs"
@@ -72,46 +71,58 @@ func (b *BruteForce) Name() string { return "brute-force" }
 func (b *BruteForce) Params() BruteForceParams { return b.params }
 
 // Run implements Tuner. MaxEpochs is ignored (the budget is
-// MaxEvaluations); the epoch records group evaluations into pseudo-epochs of
-// ReportEvery evaluations.
+// MaxEvaluations, further capped by Problem.MaxEvaluations when set); the
+// epoch records group evaluations into pseudo-epochs of ReportEvery
+// evaluations. Unlike the epoch-driven tuners it runs directly on the engine
+// primitives: every phase generates its candidate list up front, evaluates it
+// as one batch (fanned out when the evaluator supports it) and folds the
+// results in generation order, so the accumulated state — best-so-far,
+// evaluation counter, pseudo-epoch records — is bit-identical to the serial
+// sweep.
 func (b *BruteForce) Run(ctx context.Context, prob Problem) (Result, error) {
-	if err := prob.Validate(); err != nil {
+	e, err := newEngine(b.Name(), prob)
+	if err != nil {
 		return Result{}, err
 	}
-	res := Result{Tuner: b.Name(), BestLoss: math.Inf(1)}
 	rng := rand.New(rand.NewSource(prob.Seed))
 
-	// foldOne accumulates one evaluated configuration into the result. Every
-	// phase below generates its candidate list up front, evaluates it as one
-	// batch (fanned out when the evaluator supports it) and folds the results
-	// in generation order, so the accumulated state — best-so-far, evaluation
-	// counter, pseudo-epoch records — is bit-identical to the serial sweep.
-	foldOne := func(cfg knobs.Config, loss float64, m metrics.Vector) {
-		res.TotalEvaluations++
-		if better(loss, res.BestLoss) {
-			res.BestLoss = loss
-			res.Best = cfg.Clone()
-			res.BestMetrics = m.Clone()
-		}
-		if res.TotalEvaluations%b.params.ReportEvery == 0 {
-			res.Epochs = append(res.Epochs, EpochRecord{
-				Epoch:       len(res.Epochs) + 1,
-				BestLoss:    res.BestLoss,
-				EpochLoss:   loss,
-				BestMetrics: res.BestMetrics.Clone(),
-				Evaluations: b.params.ReportEvery,
-			})
+	// Pseudo-epoch records are emitted at exact evaluation counts through the
+	// engine's fold hook.
+	e.onFold = func(_ knobs.Config, loss float64, _ metrics.Vector) {
+		if e.res.TotalEvaluations%b.params.ReportEvery == 0 {
+			e.appendRecord(loss, b.params.ReportEvery)
 		}
 	}
 	evalChunk := func(cfgs []knobs.Config) error {
-		losses, ms, err := evalBatch(ctx, prob, cfgs)
-		if err != nil {
-			return err
+		_, _, err := e.evalBatch(ctx, cfgs)
+		return err
+	}
+	// stop is checked between phases: the target loss or the problem's own
+	// evaluation budget ends the sweep early.
+	stop := func() bool {
+		if e.targetReached() {
+			e.res.Converged = true
 		}
-		for i := range cfgs {
-			foldOne(cfgs[i], losses[i], ms[i])
+		return e.done()
+	}
+
+	finish := func() (Result, error) {
+		e.res.Converged = true
+		if n := len(e.res.Epochs); n == 0 || e.res.Epochs[n-1].BestLoss != e.res.BestLoss {
+			e.appendRecord(e.res.BestLoss, e.res.TotalEvaluations%b.params.ReportEvery)
 		}
-		return nil
+		return e.result(), nil
+	}
+
+	// The problem's starting point, when given, is evaluated first so the
+	// sweep can only improve on it.
+	if !prob.Initial.IsZero() {
+		if err := evalChunk([]knobs.Config{prob.Initial.Clone()}); err != nil {
+			return e.res, fmt.Errorf("tuner: brute force initial: %w", err)
+		}
+		if stop() {
+			return finish()
+		}
 	}
 
 	// Choose the per-knob index sets and enumerate the lattice
@@ -127,7 +138,7 @@ func (b *BruteForce) Run(ctx context.Context, prob Problem) (Result, error) {
 		}
 		cfg, err := prob.Space.ConfigFromIndices(idx)
 		if err != nil {
-			return res, fmt.Errorf("tuner: brute force lattice: %w", err)
+			return e.res, fmt.Errorf("tuner: brute force lattice: %w", err)
 		}
 		lattice = append(lattice, cfg)
 		// Advance the odometer.
@@ -142,20 +153,26 @@ func (b *BruteForce) Run(ctx context.Context, prob Problem) (Result, error) {
 		}
 	}
 	if err := evalChunk(lattice); err != nil {
-		return res, fmt.Errorf("tuner: brute force evaluation: %w", err)
+		return e.res, fmt.Errorf("tuner: brute force evaluation: %w", err)
+	}
+	if stop() {
+		return finish()
 	}
 
 	// Random refinement with half of the remaining budget. The samples are
 	// drawn serially from the seeded RNG (evaluations consume no randomness)
 	// and then evaluated as one batch.
-	randomBudget := (b.params.MaxEvaluations - res.TotalEvaluations) / 2
+	randomBudget := (b.params.MaxEvaluations - e.res.TotalEvaluations) / 2
 	if randomBudget > 0 {
 		samples := make([]knobs.Config, randomBudget)
 		for i := range samples {
 			samples[i] = prob.Space.RandomConfig(rng)
 		}
 		if err := evalChunk(samples); err != nil {
-			return res, fmt.Errorf("tuner: brute force sampling: %w", err)
+			return e.res, fmt.Errorf("tuner: brute force sampling: %w", err)
+		}
+		if stop() {
+			return finish()
 		}
 	}
 
@@ -166,14 +183,15 @@ func (b *BruteForce) Run(ctx context.Context, prob Problem) (Result, error) {
 	// every knob of a fixed base configuration by ±1, so a sweep is one
 	// batch; the sweep improved iff the best loss dropped across it. The
 	// final pass is allowed to finish even if it slightly overruns the
-	// evaluation budget.
+	// evaluation budget (the problem's own MaxEvaluations, when set, is still
+	// enforced exactly by the engine).
 	improved := true
-	for improved && res.TotalEvaluations < b.params.MaxEvaluations+2*prob.Space.Len() {
+	for improved && e.res.TotalEvaluations < b.params.MaxEvaluations+2*prob.Space.Len() {
 		if err := ctx.Err(); err != nil {
-			return res, err
+			return e.res, err
 		}
-		base := res.Best.Clone()
-		beforeSweep := res.BestLoss
+		base := e.res.Best.Clone()
+		beforeSweep := e.res.BestLoss
 		var sweep []knobs.Config
 		for k := 0; k < prob.Space.Len(); k++ {
 			for _, delta := range []int{-1, 1} {
@@ -185,21 +203,14 @@ func (b *BruteForce) Run(ctx context.Context, prob Problem) (Result, error) {
 			}
 		}
 		if err := evalChunk(sweep); err != nil {
-			return res, fmt.Errorf("tuner: brute force refinement: %w", err)
+			return e.res, fmt.Errorf("tuner: brute force refinement: %w", err)
 		}
-		improved = res.BestLoss < beforeSweep
+		improved = e.res.BestLoss < beforeSweep
+		if stop() {
+			return finish()
+		}
 	}
-	res.Converged = true
-	if len(res.Epochs) == 0 || res.Epochs[len(res.Epochs)-1].BestLoss != res.BestLoss {
-		res.Epochs = append(res.Epochs, EpochRecord{
-			Epoch:       len(res.Epochs) + 1,
-			BestLoss:    res.BestLoss,
-			EpochLoss:   res.BestLoss,
-			BestMetrics: res.BestMetrics.Clone(),
-			Evaluations: res.TotalEvaluations % b.params.ReportEvery,
-		})
-	}
-	return res, nil
+	return finish()
 }
 
 // indexSets returns, per knob, the indices enumerated by the lattice sweep.

@@ -1,0 +1,184 @@
+package tuner
+
+import (
+	"context"
+	"fmt"
+
+	"micrograd/internal/knobs"
+	"micrograd/internal/metrics"
+)
+
+// Multi-fidelity evaluation: the successive-halving meta-tuner screens
+// candidates cheaply (a fraction of the full evaluation effort — shorter
+// simulation windows) and promotes survivors to full fidelity. Fidelity is
+// an evaluation-time knob: a configuration's synthesized kernels are reused
+// across fidelities (the synthesis memo ignores it), only the simulated
+// window shrinks.
+
+// EvaluatorAt is implemented by evaluators that can evaluate a candidate at
+// a reduced fidelity in (0,1]; 1 is the full evaluation effort. The
+// interface is structural so implementations outside this package (e.g.
+// sched.ParallelEvaluator) need not import it.
+type EvaluatorAt interface {
+	EvaluateAt(cfg knobs.Config, fidelity float64) (metrics.Vector, error)
+}
+
+// BatchEvaluatorAt is the batched companion of EvaluatorAt; results[i]
+// corresponds to cfgs[i], identical to a serial loop.
+type BatchEvaluatorAt interface {
+	EvaluateBatchAt(ctx context.Context, cfgs []knobs.Config, fidelity float64) ([]metrics.Vector, error)
+}
+
+// fidelityCapable marks evaluators whose EvaluateAt actually honours the
+// fidelity (as opposed to a structural match that ignores it).
+type fidelityCapable interface {
+	FidelityCapable() bool
+}
+
+// withFidelity is implemented by this package's evaluator wrappers to
+// produce a fidelity-bound view that shares the wrapper's state (counter,
+// cache) with the full-fidelity stack.
+type withFidelity interface {
+	WithFidelity(fidelity float64) Evaluator
+}
+
+// EvaluatorAtFunc adapts a fidelity-aware function to both Evaluator
+// (full fidelity) and EvaluatorAt.
+type EvaluatorAtFunc func(cfg knobs.Config, fidelity float64) (metrics.Vector, error)
+
+// Evaluate implements Evaluator at full fidelity.
+func (f EvaluatorAtFunc) Evaluate(cfg knobs.Config) (metrics.Vector, error) { return f(cfg, 1) }
+
+// EvaluateAt implements EvaluatorAt.
+func (f EvaluatorAtFunc) EvaluateAt(cfg knobs.Config, fidelity float64) (metrics.Vector, error) {
+	return f(cfg, fidelity)
+}
+
+// FidelityCapable implements fidelityCapable.
+func (f EvaluatorAtFunc) FidelityCapable() bool { return true }
+
+// AtFidelity returns a view of eval bound to the given fidelity. Wrappers
+// from this package (counting, memoizing) produce views that share their
+// state; fidelity-aware evaluators are bound directly. A fidelity-blind
+// evaluator (or a fidelity outside (0,1)) is returned unchanged — reduced
+// fidelity is a cost optimization, and an evaluator that cannot shorten its
+// work simply evaluates fully.
+func AtFidelity(eval Evaluator, fidelity float64) Evaluator {
+	if fidelity <= 0 || fidelity >= 1 {
+		return eval
+	}
+	if wf, ok := eval.(withFidelity); ok {
+		return wf.WithFidelity(fidelity)
+	}
+	if fc, ok := eval.(fidelityCapable); ok && !fc.FidelityCapable() {
+		return eval
+	}
+	if at, ok := eval.(EvaluatorAt); ok {
+		v := &fidelityView{at: at, fidelity: fidelity}
+		v.batchAt, _ = eval.(BatchEvaluatorAt)
+		return v
+	}
+	return eval
+}
+
+// SupportsFidelity reports whether AtFidelity(eval, f) would actually
+// evaluate at reduced cost rather than fall back to full evaluations.
+func SupportsFidelity(eval Evaluator) bool {
+	if wf, ok := eval.(withFidelity); ok {
+		inner := wf.WithFidelity(0.5)
+		return inner != eval
+	}
+	if fc, ok := eval.(fidelityCapable); ok {
+		return fc.FidelityCapable()
+	}
+	_, ok := eval.(EvaluatorAt)
+	return ok
+}
+
+// fidelityView binds a fidelity-aware evaluator to one fidelity level.
+type fidelityView struct {
+	at       EvaluatorAt
+	batchAt  BatchEvaluatorAt
+	fidelity float64
+}
+
+// Evaluate implements Evaluator.
+func (v *fidelityView) Evaluate(cfg knobs.Config) (metrics.Vector, error) {
+	return v.at.EvaluateAt(cfg, v.fidelity)
+}
+
+// EvaluateBatch implements sched.BatchEvaluator, preserving the fan-out of
+// the underlying evaluator when it has one.
+func (v *fidelityView) EvaluateBatch(ctx context.Context, cfgs []knobs.Config) ([]metrics.Vector, error) {
+	if v.batchAt != nil {
+		return v.batchAt.EvaluateBatchAt(ctx, cfgs, v.fidelity)
+	}
+	out := make([]metrics.Vector, len(cfgs))
+	for i, cfg := range cfgs {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		m, err := v.at.EvaluateAt(cfg, v.fidelity)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = m
+	}
+	return out, nil
+}
+
+// WithFidelity implements withFidelity for CountingEvaluator: the view
+// shares the evaluation counter, so Count() keeps reporting all real
+// simulator work regardless of fidelity.
+func (c *CountingEvaluator) WithFidelity(fidelity float64) Evaluator {
+	if !SupportsFidelity(c.inner) {
+		return c // fidelity-blind stack: nothing changes
+	}
+	return &countingView{c: c, inner: AtFidelity(c.inner, fidelity)}
+}
+
+// countingView is a fidelity-bound view of a CountingEvaluator.
+type countingView struct {
+	c     *CountingEvaluator
+	inner Evaluator
+}
+
+// Evaluate implements Evaluator.
+func (v *countingView) Evaluate(cfg knobs.Config) (metrics.Vector, error) {
+	v.c.count.Add(1)
+	return v.inner.Evaluate(cfg)
+}
+
+// EvaluateBatch implements sched.BatchEvaluator.
+func (v *countingView) EvaluateBatch(ctx context.Context, cfgs []knobs.Config) ([]metrics.Vector, error) {
+	v.c.count.Add(int64(len(cfgs)))
+	return EvaluateAll(ctx, v.inner, cfgs)
+}
+
+// WithFidelity implements withFidelity for MemoizingEvaluator: the view
+// shares the cache and single-flight machinery, but keys reduced-fidelity
+// results under a fidelity prefix — the same configuration measures
+// differently at different window lengths, so the levels must not mix.
+func (m *MemoizingEvaluator) WithFidelity(fidelity float64) Evaluator {
+	if !SupportsFidelity(m.inner) {
+		return m // fidelity-blind stack: results identical, share the cache
+	}
+	return &memoView{m: m, inner: AtFidelity(m.inner, fidelity), prefix: fmt.Sprintf("f%g|", fidelity)}
+}
+
+// memoView is a fidelity-bound view of a MemoizingEvaluator.
+type memoView struct {
+	m      *MemoizingEvaluator
+	inner  Evaluator
+	prefix string
+}
+
+// Evaluate implements Evaluator.
+func (v *memoView) Evaluate(cfg knobs.Config) (metrics.Vector, error) {
+	return v.m.evaluateKeyed(v.prefix+cfg.Key(), cfg, v.inner)
+}
+
+// EvaluateBatch implements sched.BatchEvaluator.
+func (v *memoView) EvaluateBatch(ctx context.Context, cfgs []knobs.Config) ([]metrics.Vector, error) {
+	return v.m.evaluateBatchKeyed(ctx, v.prefix, cfgs, v.inner)
+}

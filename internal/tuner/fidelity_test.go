@@ -1,0 +1,143 @@
+package tuner
+
+import (
+	"context"
+	"testing"
+
+	"micrograd/internal/knobs"
+	"micrograd/internal/metrics"
+)
+
+// fidelityRecordingEval is a fidelity-aware evaluator that records the
+// fidelity of every call, so tests can see which level each request ran at.
+func fidelityRecordingEval(calls *[]float64) EvaluatorAtFunc {
+	return func(cfg knobs.Config, fidelity float64) (metrics.Vector, error) {
+		*calls = append(*calls, fidelity)
+		v, err := bumpyEval(cfg)
+		if err != nil {
+			return nil, err
+		}
+		v["fidelity"] = fidelity
+		return v, nil
+	}
+}
+
+func TestAtFidelityBindsFidelityAwareEvaluators(t *testing.T) {
+	space := parallelTestSpace(t)
+	cfg := space.MidConfig()
+	var calls []float64
+	eval := fidelityRecordingEval(&calls)
+
+	if !SupportsFidelity(eval) {
+		t.Fatal("EvaluatorAtFunc should support fidelity")
+	}
+	// Full fidelity through the plain Evaluator interface.
+	if _, err := eval.Evaluate(cfg); err != nil {
+		t.Fatal(err)
+	}
+	// A bound view evaluates at its fidelity, single and batched.
+	view := AtFidelity(eval, 0.25)
+	if _, err := view.Evaluate(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := EvaluateAll(context.Background(), view, []knobs.Config{cfg, cfg.Step(0, 1)}); err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 0.25, 0.25, 0.25}
+	if len(calls) != len(want) {
+		t.Fatalf("calls = %v, want %v", calls, want)
+	}
+	for i := range want {
+		if calls[i] != want[i] {
+			t.Errorf("call %d ran at fidelity %g, want %g", i, calls[i], want[i])
+		}
+	}
+}
+
+func TestAtFidelityOutOfRangeReturnsOriginal(t *testing.T) {
+	var calls []float64
+	eval := fidelityRecordingEval(&calls)
+	for _, f := range []float64{0, 1, -0.5, 2} {
+		if got := AtFidelity(eval, f); !SupportsFidelity(got) {
+			t.Errorf("AtFidelity(%g) should pass the evaluator through", f)
+		}
+	}
+	// A fidelity-blind evaluator is returned unchanged (reduced fidelity is
+	// an optimization, not a requirement).
+	blind := EvaluatorFunc(bumpyEval)
+	if SupportsFidelity(blind) {
+		t.Error("plain EvaluatorFunc should not claim fidelity support")
+	}
+	if got := AtFidelity(blind, 0.5); got == nil {
+		t.Error("fidelity-blind evaluator should fall back, not vanish")
+	}
+}
+
+// TestMemoViewsKeepFidelityLevelsApart pins the caching contract of the
+// fidelity views: the counter keeps counting across levels, while the memo
+// keys each level separately — a half-fidelity result must never be served
+// for a full-fidelity request.
+func TestMemoViewsKeepFidelityLevelsApart(t *testing.T) {
+	space := parallelTestSpace(t)
+	cfg := space.MidConfig()
+	var calls []float64
+	counting := NewCountingEvaluator(fidelityRecordingEval(&calls))
+	memo := NewMemoizingEvaluator(counting)
+
+	full1, err := memo.Evaluate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	half := AtFidelity(memo, 0.5)
+	halfV, err := half.Evaluate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full1["fidelity"] != 1 || halfV["fidelity"] != 0.5 {
+		t.Errorf("fidelities = %g / %g, want 1 / 0.5", full1["fidelity"], halfV["fidelity"])
+	}
+	// Same levels hit their own cache entries; the counter saw both real runs.
+	if _, err := memo.Evaluate(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := half.Evaluate(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if counting.Count() != 2 {
+		t.Errorf("simulations = %d, want 2 (one per fidelity level)", counting.Count())
+	}
+	if memo.Hits() != 2 || memo.Misses() != 2 {
+		t.Errorf("memo counters = %d hits / %d misses, want 2 / 2", memo.Hits(), memo.Misses())
+	}
+	// The batched view path works and stays level-separated too.
+	batch := []knobs.Config{cfg, cfg.Step(1, 1)}
+	if _, err := EvaluateAll(context.Background(), half, batch); err != nil {
+		t.Fatal(err)
+	}
+	if counting.Count() != 3 {
+		t.Errorf("simulations after batch = %d, want 3 (only the new config ran)", counting.Count())
+	}
+}
+
+// TestFidelityBlindStackSharesCache pins the degenerate case: when the inner
+// evaluator cannot shorten its work, the fidelity views collapse onto the
+// unprefixed cache — a "reduced" result is identical, so sharing is correct
+// and cheaper.
+func TestFidelityBlindStackSharesCache(t *testing.T) {
+	space := parallelTestSpace(t)
+	cfg := space.MidConfig()
+	counting := NewCountingEvaluator(EvaluatorFunc(bumpyEval))
+	memo := NewMemoizingEvaluator(counting)
+	if SupportsFidelity(memo) {
+		t.Fatal("memo over a fidelity-blind evaluator should not claim support")
+	}
+	if _, err := memo.Evaluate(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AtFidelity(memo, 0.5).Evaluate(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if counting.Count() != 1 {
+		t.Errorf("simulations = %d, want 1 (blind stack shares the cache)", counting.Count())
+	}
+}

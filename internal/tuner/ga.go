@@ -85,86 +85,62 @@ type individual struct {
 
 // Run implements Tuner.
 func (g *GeneticAlgorithm) Run(ctx context.Context, prob Problem) (Result, error) {
-	if err := prob.Validate(); err != nil {
-		return Result{}, err
-	}
-	rng := rand.New(rand.NewSource(prob.Seed))
-	res := Result{Tuner: g.Name(), BestLoss: math.Inf(1)}
+	return runEpochs(ctx, g.Name(), prob, func(_ context.Context, e *engine) (epochStep, error) {
+		rng := rand.New(rand.NewSource(prob.Seed))
 
-	// Initial population: random individuals, optionally seeded with the
-	// problem's initial configuration.
-	pop := make([]individual, g.params.PopulationSize)
-	for i := range pop {
-		pop[i] = individual{cfg: prob.Space.RandomConfig(rng), loss: math.NaN()}
-	}
-	if !prob.Initial.IsZero() {
-		pop[0].cfg = prob.Initial.Clone()
-	}
-
-	for epoch := 0; epoch < prob.MaxEpochs; epoch++ {
-		if err := ctx.Err(); err != nil {
-			return res, err
-		}
-		evalsBefore := res.TotalEvaluations
-
-		// Evaluate the population (the per-epoch cost of the GA approach).
-		// The individuals are independent, so the batch fans out across the
-		// evaluator's worker pool; folding results back in population order
-		// keeps the run bit-identical to a serial evaluation loop.
-		cfgs := make([]knobs.Config, len(pop))
+		// Initial population: random individuals, optionally seeded with the
+		// problem's initial configuration.
+		pop := make([]individual, g.params.PopulationSize)
 		for i := range pop {
-			cfgs[i] = pop[i].cfg
+			pop[i] = individual{cfg: prob.Space.RandomConfig(rng), loss: math.NaN()}
 		}
-		losses, ms, err := evalBatch(ctx, prob, cfgs)
-		if err != nil {
-			return res, fmt.Errorf("tuner: ga evaluation: %w", err)
-		}
-		for i := range pop {
-			res.TotalEvaluations++
-			pop[i].loss = losses[i]
-			if better(losses[i], res.BestLoss) {
-				res.BestLoss = losses[i]
-				res.Best = pop[i].cfg.Clone()
-				res.BestMetrics = ms[i].Clone()
-			}
+		if !prob.Initial.IsZero() {
+			pop[0].cfg = prob.Initial.Clone()
 		}
 
-		res.Epochs = append(res.Epochs, EpochRecord{
-			Epoch:       epoch + 1,
-			BestLoss:    res.BestLoss,
-			EpochLoss:   bestOf(pop),
-			BestMetrics: res.BestMetrics.Clone(),
-			Evaluations: res.TotalEvaluations - evalsBefore,
-		})
-
-		if prob.hasTarget() && res.BestLoss <= prob.TargetLoss {
-			res.Converged = true
-			break
-		}
-		if epoch == prob.MaxEpochs-1 {
-			break // no need to breed a generation that will never be evaluated
-		}
-
-		// Breed the next generation.
-		next := make([]individual, 0, len(pop))
-		if g.params.Elitism {
-			next = append(next, individual{cfg: res.Best.Clone(), loss: math.NaN()})
-		}
-		for len(next) < len(pop) {
-			a := g.tournament(rng, pop)
-			b := g.tournament(rng, pop)
-			childA, childB := a.cfg, b.cfg
-			if rng.Float64() < g.params.CrossoverRate {
-				childA, childB = crossover(rng, prob.Space, a.cfg, b.cfg)
+		return func(ctx context.Context, e *engine, epoch int) (float64, error) {
+			// Evaluate the population (the per-epoch cost of the GA approach).
+			// The individuals are independent, so the batch fans out across the
+			// evaluator's worker pool; folding results back in population order
+			// keeps the run bit-identical to a serial evaluation loop.
+			cfgs := make([]knobs.Config, len(pop))
+			for i := range pop {
+				cfgs[i] = pop[i].cfg
 			}
-			next = append(next, individual{cfg: g.mutate(rng, prob.Space, childA)})
-			if len(next) < len(pop) {
-				next = append(next, individual{cfg: g.mutate(rng, prob.Space, childB)})
+			losses, _, err := e.evalBatch(ctx, cfgs)
+			if err != nil {
+				return 0, fmt.Errorf("tuner: ga evaluation: %w", err)
 			}
-		}
-		pop = next
-	}
-	return res, nil
+			for i := range losses {
+				pop[i].loss = losses[i]
+			}
+			epochLoss := bestOf(pop)
+
+			if epoch == prob.MaxEpochs-1 || e.targetReached() || e.exhausted {
+				return epochLoss, nil // no need to breed a generation that will never be evaluated
+			}
+
+			// Breed the next generation.
+			next := make([]individual, 0, len(pop))
+			if g.params.Elitism {
+				next = append(next, individual{cfg: e.res.Best.Clone(), loss: math.NaN()})
+			}
+			for len(next) < len(pop) {
+				a := g.tournament(rng, pop)
+				b := g.tournament(rng, pop)
+				childA, childB := a.cfg, b.cfg
+				if rng.Float64() < g.params.CrossoverRate {
+					childA, childB = crossover(rng, prob.Space, a.cfg, b.cfg)
+				}
+				next = append(next, individual{cfg: g.mutate(rng, prob.Space, childA)})
+				if len(next) < len(pop) {
+					next = append(next, individual{cfg: g.mutate(rng, prob.Space, childB)})
+				}
+			}
+			pop = next
+			return epochLoss, nil
+		}, nil
+	})
 }
 
 // bestOf returns the best loss within a population.

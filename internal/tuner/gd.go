@@ -7,7 +7,6 @@ import (
 	"math/rand"
 
 	"micrograd/internal/knobs"
-	"micrograd/internal/metrics"
 )
 
 // GDParams configures the gradient-descent tuner. The defaults follow the
@@ -106,173 +105,141 @@ func (g *GradientDescent) Params() GDParams { return g.params }
 
 // Run implements Tuner.
 func (g *GradientDescent) Run(ctx context.Context, prob Problem) (Result, error) {
-	if err := prob.Validate(); err != nil {
-		return Result{}, err
-	}
-	rng := rand.New(rand.NewSource(prob.Seed))
-	eval := prob.Evaluator
-
-	res := Result{Tuner: g.Name(), BestLoss: math.Inf(1)}
-
-	current := prob.Initial
-	if current.IsZero() {
-		current = prob.Space.RandomConfig(rng)
-	}
-
-	track := func(loss float64, cfg knobs.Config, m metrics.Vector) {
-		if better(loss, res.BestLoss) {
-			res.BestLoss = loss
-			res.Best = cfg.Clone()
-			res.BestMetrics = m.Clone()
+	return runEpochs(ctx, g.Name(), prob, func(_ context.Context, e *engine) (epochStep, error) {
+		rng := rand.New(rand.NewSource(prob.Seed))
+		current := prob.Initial
+		if current.IsZero() {
+			current = prob.Space.RandomConfig(rng)
 		}
-	}
+		stall := 0
+		return func(ctx context.Context, e *engine, epoch int) (float64, error) {
+			step := g.params.stepAt(epoch)
+			skipProb := g.params.skipProbAt(epoch)
 
-	stall := 0
-	for epoch := 0; epoch < prob.MaxEpochs; epoch++ {
-		if err := ctx.Err(); err != nil {
-			return res, err
-		}
-		evalsBefore := res.TotalEvaluations
-		step := g.params.stepAt(epoch)
-		skipProb := g.params.skipProbAt(epoch)
-
-		// 1. Measure the base configuration.
-		baseLoss, baseMetrics, err := evalLoss(prob, eval, current)
-		if err != nil {
-			return res, fmt.Errorf("tuner: gd base evaluation: %w", err)
-		}
-		res.TotalEvaluations++
-		track(baseLoss, current, baseMetrics)
-
-		// 2. Gradient checks: perturb every (non-skipped) knob by ±δ. The
-		// skip decisions are drawn first — in knob order, exactly as the
-		// serial loop drew them — and the 2×knobs probe evaluations are then
-		// independent, so they run as one batch; results are folded back in
-		// knob order, keeping the RNG stream and the accumulated state
-		// bit-identical to the serial path.
-		grads := make([]float64, prob.Space.Len())
-		probed := make([]int, 0, prob.Space.Len())
-		probes := make([]knobs.Config, 0, 2*prob.Space.Len())
-		for k := 0; k < prob.Space.Len(); k++ {
-			if rng.Float64() < skipProb {
-				continue // stochastically skipped this epoch
+			// 1. Measure the base configuration.
+			baseLoss, _, ok, err := e.evalOne(ctx, current)
+			if err != nil {
+				return 0, fmt.Errorf("tuner: gd base evaluation: %w", err)
 			}
-			probed = append(probed, k)
-			probes = append(probes, current.Step(k, g.params.Delta), current.Step(k, -g.params.Delta))
-		}
-		probeLosses, probeMetrics, err := evalBatch(ctx, prob, probes)
-		if err != nil {
-			return res, fmt.Errorf("tuner: gd gradient check: %w", err)
-		}
-		for j, k := range probed {
-			plus, minus := probes[2*j], probes[2*j+1]
-			lossPlus, lossMinus := probeLosses[2*j], probeLosses[2*j+1]
-			res.TotalEvaluations += 2
-			track(lossPlus, plus, probeMetrics[2*j])
-			track(lossMinus, minus, probeMetrics[2*j+1])
-			span := float64(plus.Index(k) - minus.Index(k))
-			if span != 0 {
-				grads[k] = (lossPlus - lossMinus) / span
+			if !ok {
+				return e.res.BestLoss, nil // budget spent before the epoch began
 			}
-		}
 
-		// 3. Build candidate moves along the descent direction: the full
-		// proportional move (steepest knob moves one step, the rest move a
-		// fraction of it), a half-step variant (adaptive step size), and a
-		// conservative move of only the steepest knob, which is robust when
-		// the joint move overshoots on a noisy or strongly-curved landscape.
-		maxAbs := 0.0
-		steepest := -1
-		for k, gk := range grads {
-			if a := math.Abs(gk); a > maxAbs {
-				maxAbs = a
-				steepest = k
-			}
-		}
-		var candidates []knobs.Config
-		if maxAbs > 0 {
-			scaled := func(scale float64) knobs.Config {
-				out := current.Clone()
-				for k, gk := range grads {
-					move := int(math.Round(-scale * step * gk / maxAbs))
-					if move != 0 {
-						out = out.Step(k, move)
-					}
+			// 2. Gradient checks: perturb every (non-skipped) knob by ±δ. The
+			// skip decisions are drawn first — in knob order, exactly as the
+			// serial loop drew them — and the 2×knobs probe evaluations are then
+			// independent, so they run as one batch; results are folded back in
+			// knob order, keeping the RNG stream and the accumulated state
+			// bit-identical to the serial path.
+			grads := make([]float64, prob.Space.Len())
+			probed := make([]int, 0, prob.Space.Len())
+			probes := make([]knobs.Config, 0, 2*prob.Space.Len())
+			for k := 0; k < prob.Space.Len(); k++ {
+				if rng.Float64() < skipProb {
+					continue // stochastically skipped this epoch
 				}
-				return out
+				probed = append(probed, k)
+				probes = append(probes, current.Step(k, g.params.Delta), current.Step(k, -g.params.Delta))
 			}
-			candidates = append(candidates, scaled(1))
-			candidates = append(candidates, scaled(0.5))
-			single := current.Clone()
-			dir := -1
-			if grads[steepest] < 0 {
-				dir = 1
+			probeLosses, _, err := e.evalBatch(ctx, probes)
+			if err != nil {
+				return 0, fmt.Errorf("tuner: gd gradient check: %w", err)
 			}
-			move := dir * int(math.Max(1, math.Round(step)))
-			candidates = append(candidates, single.Step(steepest, move))
-		}
+			for j, k := range probed {
+				if 2*j+1 >= len(probeLosses) {
+					break // budget cut the probe batch short
+				}
+				plus, minus := probes[2*j], probes[2*j+1]
+				span := float64(plus.Index(k) - minus.Index(k))
+				if span != 0 {
+					grads[k] = (probeLosses[2*j] - probeLosses[2*j+1]) / span
+				}
+			}
 
-		// 4. Evaluate the (distinct) candidates — batched, folded in
-		// candidate order — and accept the best one if it improves on the
-		// base configuration.
-		epochLoss := baseLoss
-		bestCandLoss := math.Inf(1)
-		var bestCand knobs.Config
-		seen := map[string]bool{current.Key(): true}
-		distinct := make([]knobs.Config, 0, len(candidates))
-		for _, cand := range candidates {
-			if seen[cand.Key()] {
-				continue
+			// 3. Build candidate moves along the descent direction: the full
+			// proportional move (steepest knob moves one step, the rest move a
+			// fraction of it), a half-step variant (adaptive step size), and a
+			// conservative move of only the steepest knob, which is robust when
+			// the joint move overshoots on a noisy or strongly-curved landscape.
+			maxAbs := 0.0
+			steepest := -1
+			for k, gk := range grads {
+				if a := math.Abs(gk); a > maxAbs {
+					maxAbs = a
+					steepest = k
+				}
 			}
-			seen[cand.Key()] = true
-			distinct = append(distinct, cand)
-		}
-		candLosses, candMetrics, err := evalBatch(ctx, prob, distinct)
-		if err != nil {
-			return res, fmt.Errorf("tuner: gd step evaluation: %w", err)
-		}
-		for i, cand := range distinct {
-			res.TotalEvaluations++
-			track(candLosses[i], cand, candMetrics[i])
-			if better(candLosses[i], bestCandLoss) {
-				bestCandLoss = candLosses[i]
-				bestCand = cand
+			var candidates []knobs.Config
+			if maxAbs > 0 {
+				scaled := func(scale float64) knobs.Config {
+					out := current.Clone()
+					for k, gk := range grads {
+						move := int(math.Round(-scale * step * gk / maxAbs))
+						if move != 0 {
+							out = out.Step(k, move)
+						}
+					}
+					return out
+				}
+				candidates = append(candidates, scaled(1))
+				candidates = append(candidates, scaled(0.5))
+				single := current.Clone()
+				dir := -1
+				if grads[steepest] < 0 {
+					dir = 1
+				}
+				move := dir * int(math.Max(1, math.Round(step)))
+				candidates = append(candidates, single.Step(steepest, move))
 			}
-		}
-		if !bestCand.IsZero() && better(bestCandLoss, baseLoss) {
-			current = bestCand
-			epochLoss = bestCandLoss
-			stall = 0
-		} else {
-			// No improvement: restart the next epoch from the best
-			// configuration seen so far, perturbed in a couple of random
-			// knobs. This is the stochastic escape behaviour the paper
-			// describes for leaving local minima and plateaus.
-			current = perturb(rng, res.Best)
-			epochLoss = res.BestLoss
-			stall++
-		}
 
-		res.Epochs = append(res.Epochs, EpochRecord{
-			Epoch:       epoch + 1,
-			BestLoss:    res.BestLoss,
-			EpochLoss:   epochLoss,
-			BestMetrics: res.BestMetrics.Clone(),
-			Evaluations: res.TotalEvaluations - evalsBefore,
-		})
+			// 4. Evaluate the (distinct) candidates — batched, folded in
+			// candidate order — and accept the best one if it improves on the
+			// base configuration.
+			epochLoss := baseLoss
+			bestCandLoss := math.Inf(1)
+			var bestCand knobs.Config
+			seen := map[string]bool{current.Key(): true}
+			distinct := make([]knobs.Config, 0, len(candidates))
+			for _, cand := range candidates {
+				if seen[cand.Key()] {
+					continue
+				}
+				seen[cand.Key()] = true
+				distinct = append(distinct, cand)
+			}
+			candLosses, _, err := e.evalBatch(ctx, distinct)
+			if err != nil {
+				return 0, fmt.Errorf("tuner: gd step evaluation: %w", err)
+			}
+			for i := range candLosses {
+				if better(candLosses[i], bestCandLoss) {
+					bestCandLoss = candLosses[i]
+					bestCand = distinct[i]
+				}
+			}
+			if !bestCand.IsZero() && better(bestCandLoss, baseLoss) {
+				current = bestCand
+				epochLoss = bestCandLoss
+				stall = 0
+			} else {
+				// No improvement: restart the next epoch from the best
+				// configuration seen so far, perturbed in a couple of random
+				// knobs. This is the stochastic escape behaviour the paper
+				// describes for leaving local minima and plateaus.
+				current = perturb(rng, e.res.Best)
+				epochLoss = e.res.BestLoss
+				stall++
+			}
 
-		// 5. Termination: target reached or the search stalled for several
-		// consecutive epochs despite the stochastic escapes.
-		if prob.hasTarget() && res.BestLoss <= prob.TargetLoss {
-			res.Converged = true
-			break
-		}
-		if stall >= g.params.StallEpochs {
-			res.Converged = true
-			break
-		}
-	}
-	return res, nil
+			// 5. Termination beyond the shared target/budget checks: the
+			// search stalled for several consecutive epochs despite the
+			// stochastic escapes.
+			if stall >= g.params.StallEpochs {
+				e.converge()
+			}
+			return epochLoss, nil
+		}, nil
+	})
 }
 
 // perturb returns a copy of cfg with one or two random knobs nudged by ±1

@@ -1,0 +1,252 @@
+package tuner
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"micrograd/internal/knobs"
+	"micrograd/internal/metrics"
+)
+
+// SuccessiveHalvingParams configures the successive-halving meta-tuner.
+type SuccessiveHalvingParams struct {
+	// Rungs is the number of fidelity rungs, including the full-fidelity
+	// final rung (minimum 2: explore + confirm).
+	Rungs int
+	// Eta is the halving rate: each rung promotes roughly the best 1/Eta of
+	// its candidates to the next, more expensive rung.
+	Eta float64
+	// MinFidelity is the fidelity of the cheapest (exploration) rung; the
+	// ladder rises geometrically from it to 1.
+	MinFidelity float64
+}
+
+// DefaultSuccessiveHalvingParams returns the defaults used throughout the
+// evaluation: three rungs at fidelities 1/9, 1/3 and 1.
+func DefaultSuccessiveHalvingParams() SuccessiveHalvingParams {
+	return SuccessiveHalvingParams{Rungs: 3, Eta: 3, MinFidelity: 1.0 / 9}
+}
+
+// normalized fills zero fields with defaults.
+func (p SuccessiveHalvingParams) normalized() SuccessiveHalvingParams {
+	d := DefaultSuccessiveHalvingParams()
+	if p.Rungs < 2 {
+		p.Rungs = d.Rungs
+	}
+	if p.Eta <= 1 {
+		p.Eta = d.Eta
+	}
+	if p.MinFidelity <= 0 || p.MinFidelity >= 1 {
+		p.MinFidelity = d.MinFidelity
+	}
+	return p
+}
+
+// SuccessiveHalving wraps any inner tuner with reduced-fidelity screening:
+// the inner tuner explores at the cheapest fidelity (shortened simulation
+// windows — the synthesis memo still reuses each configuration's kernels
+// across rungs, since fidelity is an evaluation-time knob), and the
+// configurations it visited are then re-ranked on successively more faithful
+// rungs, with only the best fraction promoted each time. The final rung runs
+// at full fidelity and is the only one whose results enter the best-so-far
+// tracking — screening losses are cheaper approximations and must not be
+// compared against full evaluations.
+//
+// Every evaluation, at any fidelity, counts against Problem.MaxEvaluations,
+// which the wrapper requires: the budget is what it allocates across rungs.
+type SuccessiveHalving struct {
+	params SuccessiveHalvingParams
+	inner  Tuner
+}
+
+// NewSuccessiveHalving wraps inner; zero-valued params take defaults.
+func NewSuccessiveHalving(inner Tuner, params SuccessiveHalvingParams) *SuccessiveHalving {
+	return &SuccessiveHalving{params: params.normalized(), inner: inner}
+}
+
+// Name implements Tuner.
+func (s *SuccessiveHalving) Name() string { return "halving-" + s.inner.Name() }
+
+// Params returns the effective parameters.
+func (s *SuccessiveHalving) Params() SuccessiveHalvingParams { return s.params }
+
+// Inner returns the wrapped tuner.
+func (s *SuccessiveHalving) Inner() Tuner { return s.inner }
+
+// fidelityAt returns the fidelity of rung r on the geometric ladder from
+// MinFidelity (r=0) to 1 (r=Rungs-1).
+func (s *SuccessiveHalving) fidelityAt(r int) float64 {
+	frac := float64(s.params.Rungs-1-r) / float64(s.params.Rungs-1)
+	return math.Pow(s.params.MinFidelity, frac)
+}
+
+// candidate is one configuration surfaced by the exploration rung.
+type candidate struct {
+	cfg  knobs.Config
+	loss float64 // screening loss at the most recent rung
+	seen int     // first-seen order, the deterministic tie-breaker
+}
+
+// recordingEvaluator wraps the exploration rung's evaluator and records, in
+// proposal order, every distinct configuration the inner tuner visited
+// together with its screening loss. Proposal order (not completion order) is
+// what makes the candidate pool identical whether the wrapped evaluator fans
+// out or not.
+type recordingEvaluator struct {
+	inner Evaluator
+	score func(metrics.Vector) float64
+
+	mu    sync.Mutex
+	first map[string]int
+	pool  []candidate
+}
+
+func (r *recordingEvaluator) record(cfg knobs.Config, v metrics.Vector) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	key := cfg.Key()
+	if _, ok := r.first[key]; ok {
+		return
+	}
+	r.first[key] = len(r.pool)
+	r.pool = append(r.pool, candidate{cfg: cfg.Clone(), loss: r.score(v), seen: len(r.pool)})
+}
+
+// Evaluate implements Evaluator.
+func (r *recordingEvaluator) Evaluate(cfg knobs.Config) (metrics.Vector, error) {
+	v, err := r.inner.Evaluate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	r.record(cfg, v)
+	return v, nil
+}
+
+// EvaluateBatch implements sched.BatchEvaluator: results are recorded in
+// batch (proposal) order after the whole batch returns.
+func (r *recordingEvaluator) EvaluateBatch(ctx context.Context, cfgs []knobs.Config) ([]metrics.Vector, error) {
+	vs, err := EvaluateAll(ctx, r.inner, cfgs)
+	if err != nil {
+		return nil, err
+	}
+	for i, cfg := range cfgs {
+		r.record(cfg, vs[i])
+	}
+	return vs, nil
+}
+
+// Run implements Tuner.
+func (s *SuccessiveHalving) Run(ctx context.Context, prob Problem) (Result, error) {
+	e, err := newEngine(s.Name(), prob)
+	if err != nil {
+		return Result{}, err
+	}
+	if prob.MaxEvaluations <= 0 {
+		return Result{}, errBudget(s.Name())
+	}
+
+	// Rung 0: the inner tuner explores at the cheapest fidelity with an
+	// equal share of the budget. Its own target check is disabled (screening
+	// losses are not comparable to the caller's full-fidelity target) and its
+	// secondary objective dropped — the wrapper rebuilds the Pareto front
+	// from the full-fidelity final rung.
+	exploreBudget := prob.MaxEvaluations / s.params.Rungs
+	if exploreBudget < 1 {
+		exploreBudget = 1
+	}
+	f0 := s.fidelityAt(0)
+	rec := &recordingEvaluator{
+		inner: AtFidelity(prob.Evaluator, f0),
+		score: e.score,
+		first: make(map[string]int),
+	}
+	sub := prob
+	sub.Evaluator = rec
+	sub.MaxEvaluations = exploreBudget
+	sub.TargetLoss = NoTargetLoss
+	sub.Secondary = nil
+	innerRes, err := s.inner.Run(ctx, sub)
+	if err != nil {
+		return e.res, fmt.Errorf("tuner: halving exploration (%s): %w", s.inner.Name(), err)
+	}
+	e.charge(innerRes.TotalEvaluations)
+	pool := rec.pool
+
+	rank := func(pool []candidate) {
+		sort.SliceStable(pool, func(a, b int) bool {
+			if pool[a].loss != pool[b].loss {
+				return pool[a].loss < pool[b].loss
+			}
+			return pool[a].seen < pool[b].seen
+		})
+	}
+	rank(pool)
+	rungBest := math.Inf(1)
+	if len(pool) > 0 {
+		rungBest = pool[0].loss
+	}
+	e.res.Epochs = append(e.res.Epochs, EpochRecord{
+		Epoch:                 1,
+		BestLoss:              rungBest, // screening loss at fidelity f0
+		EpochLoss:             rungBest,
+		Evaluations:           innerRes.TotalEvaluations,
+		CumulativeEvaluations: e.res.TotalEvaluations,
+	})
+
+	// Intermediate rungs re-rank the survivors at rising fidelity; the final
+	// rung evaluates them fully and is what populates Best and the Pareto
+	// front. Each promotion keeps the top 1/Eta (at least one), and every
+	// rung leaves at least one evaluation for the final rung.
+	for r := 1; r < s.params.Rungs && len(pool) > 0 && !e.done(); r++ {
+		final := r == s.params.Rungs-1
+		keep := int(math.Ceil(float64(len(pool)) / s.params.Eta))
+		if keep < 1 {
+			keep = 1
+		}
+		if keep > len(pool) {
+			keep = len(pool)
+		}
+		if !final {
+			if left := e.remaining() - 1; keep > left { // reserve the final eval
+				keep = left
+			}
+			if keep < 1 {
+				break
+			}
+		}
+		pool = pool[:keep]
+		cfgs := make([]knobs.Config, len(pool))
+		for i := range pool {
+			cfgs[i] = pool[i].cfg
+		}
+		e.startEpoch()
+		losses, _, err := e.evalBatchAt(ctx, cfgs, s.fidelityAt(r))
+		if err != nil {
+			return e.res, fmt.Errorf("tuner: halving rung %d: %w", r, err)
+		}
+		pool = pool[:len(losses)]
+		for i := range losses {
+			pool[i].loss = losses[i]
+		}
+		rank(pool)
+		rungBest = math.Inf(1)
+		if len(pool) > 0 {
+			rungBest = pool[0].loss
+		}
+		if final {
+			e.endEpoch(rungBest) // full fidelity: real best-loss record + target check
+		} else {
+			e.res.Epochs = append(e.res.Epochs, EpochRecord{
+				Epoch:                 len(e.res.Epochs) + 1,
+				BestLoss:              rungBest, // screening loss at this rung's fidelity
+				EpochLoss:             rungBest,
+				Evaluations:           len(losses),
+				CumulativeEvaluations: e.res.TotalEvaluations,
+			})
+		}
+	}
+	return e.result(), nil
+}

@@ -54,14 +54,22 @@ func bumpyEval(cfg knobs.Config) (metrics.Vector, error) {
 // Counting+Memoizing stack, and returns the two results.
 func runBoth(t *testing.T, tun Tuner, space *knobs.Space, maxEpochs int) (serial, parallel Result) {
 	t.Helper()
+	return runBothBudget(t, tun, space, maxEpochs, 0)
+}
+
+// runBothBudget is runBoth with a proposed-evaluation budget (0 = unlimited),
+// which the budget-planned tuners (successive halving) require.
+func runBothBudget(t *testing.T, tun Tuner, space *knobs.Space, maxEpochs, maxEvals int) (serial, parallel Result) {
+	t.Helper()
 	problem := func(eval Evaluator) Problem {
 		return Problem{
-			Space:      space,
-			Loss:       metrics.StressLoss{Metric: "score"},
-			Evaluator:  NewMemoizingEvaluator(NewCountingEvaluator(eval)),
-			MaxEpochs:  maxEpochs,
-			TargetLoss: NoTargetLoss,
-			Seed:       42,
+			Space:          space,
+			Loss:           metrics.StressLoss{Metric: "score"},
+			Evaluator:      NewMemoizingEvaluator(NewCountingEvaluator(eval)),
+			MaxEpochs:      maxEpochs,
+			MaxEvaluations: maxEvals,
+			TargetLoss:     NoTargetLoss,
+			Seed:           42,
 		}
 	}
 	serialRes, err := tun.Run(context.Background(), problem(EvaluatorFunc(bumpyEval)))
@@ -130,6 +138,25 @@ func TestParallelRandomSearchDeterminism(t *testing.T) {
 	space := parallelTestSpace(t)
 	serial, parallel := runBoth(t, NewRandomSearch(RandomSearchParams{EvaluationsPerEpoch: 15}), space, 5)
 	assertResultsIdentical(t, serial, parallel)
+}
+
+func TestParallelCMAESDeterminism(t *testing.T) {
+	space := parallelTestSpace(t)
+	serial, parallel := runBoth(t, NewCMAES(CMAESParams{}), space, 8)
+	assertResultsIdentical(t, serial, parallel)
+}
+
+func TestParallelHalvingDeterminism(t *testing.T) {
+	space := parallelTestSpace(t)
+	for _, tun := range []Tuner{
+		NewSuccessiveHalving(NewGradientDescent(GDParams{}), SuccessiveHalvingParams{}),
+		NewSuccessiveHalving(NewCMAES(CMAESParams{}), SuccessiveHalvingParams{}),
+	} {
+		t.Run(tun.Name(), func(t *testing.T) {
+			serial, parallel := runBothBudget(t, tun, space, 8, 120)
+			assertResultsIdentical(t, serial, parallel)
+		})
+	}
 }
 
 func TestMemoizingEvaluatorSingleFlight(t *testing.T) {

@@ -37,54 +37,30 @@ func (r *RandomSearch) Name() string { return "random-search" }
 
 // Run implements Tuner.
 func (r *RandomSearch) Run(ctx context.Context, prob Problem) (Result, error) {
-	if err := prob.Validate(); err != nil {
-		return Result{}, err
-	}
-	rng := rand.New(rand.NewSource(prob.Seed))
-	res := Result{Tuner: r.Name(), BestLoss: math.Inf(1)}
-
-	for epoch := 0; epoch < prob.MaxEpochs; epoch++ {
-		if err := ctx.Err(); err != nil {
-			return res, err
-		}
-		evalsBefore := res.TotalEvaluations
-		epochBest := math.Inf(1)
-		// Draw the epoch's samples first (the RNG stream is identical to the
-		// serial loop because evaluations consume no randomness), then
-		// evaluate them as one batch and fold the results in draw order.
-		cfgs := make([]knobs.Config, r.params.EvaluationsPerEpoch)
-		for i := range cfgs {
-			cfgs[i] = prob.Space.RandomConfig(rng)
-			if !prob.Initial.IsZero() && epoch == 0 && i == 0 {
-				cfgs[i] = prob.Initial.Clone()
+	return runEpochs(ctx, r.Name(), prob, func(_ context.Context, e *engine) (epochStep, error) {
+		rng := rand.New(rand.NewSource(prob.Seed))
+		return func(ctx context.Context, e *engine, epoch int) (float64, error) {
+			// Draw the epoch's samples first (the RNG stream is identical to the
+			// serial loop because evaluations consume no randomness), then
+			// evaluate them as one batch and fold the results in draw order.
+			cfgs := make([]knobs.Config, r.params.EvaluationsPerEpoch)
+			for i := range cfgs {
+				cfgs[i] = prob.Space.RandomConfig(rng)
+				if !prob.Initial.IsZero() && epoch == 0 && i == 0 {
+					cfgs[i] = prob.Initial.Clone()
+				}
 			}
-		}
-		losses, ms, err := evalBatch(ctx, prob, cfgs)
-		if err != nil {
-			return res, fmt.Errorf("tuner: random search evaluation: %w", err)
-		}
-		for i, cfg := range cfgs {
-			res.TotalEvaluations++
-			if losses[i] < epochBest {
-				epochBest = losses[i]
+			losses, _, err := e.evalBatch(ctx, cfgs)
+			if err != nil {
+				return 0, fmt.Errorf("tuner: random search evaluation: %w", err)
 			}
-			if better(losses[i], res.BestLoss) {
-				res.BestLoss = losses[i]
-				res.Best = cfg.Clone()
-				res.BestMetrics = ms[i].Clone()
+			epochBest := math.Inf(1)
+			for _, loss := range losses {
+				if loss < epochBest {
+					epochBest = loss
+				}
 			}
-		}
-		res.Epochs = append(res.Epochs, EpochRecord{
-			Epoch:       epoch + 1,
-			BestLoss:    res.BestLoss,
-			EpochLoss:   epochBest,
-			BestMetrics: res.BestMetrics.Clone(),
-			Evaluations: res.TotalEvaluations - evalsBefore,
-		})
-		if prob.hasTarget() && res.BestLoss <= prob.TargetLoss {
-			res.Converged = true
-			break
-		}
-	}
-	return res, nil
+			return epochBest, nil
+		}, nil
+	})
 }

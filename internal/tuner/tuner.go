@@ -13,6 +13,7 @@ package tuner
 import (
 	"context"
 	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
 
@@ -128,7 +129,13 @@ func NewMemoizingEvaluator(inner Evaluator) *MemoizingEvaluator {
 
 // Evaluate implements Evaluator with single-flight deduplication.
 func (m *MemoizingEvaluator) Evaluate(cfg knobs.Config) (metrics.Vector, error) {
-	key := cfg.Key()
+	return m.evaluateKeyed(cfg.Key(), cfg, m.inner)
+}
+
+// evaluateKeyed is the single-flight core: one cache entry per key, with
+// misses forwarded to the given inner evaluator (full-fidelity calls pass
+// m.inner; fidelity views pass a fidelity-bound inner and a prefixed key).
+func (m *MemoizingEvaluator) evaluateKeyed(key string, cfg knobs.Config, inner Evaluator) (metrics.Vector, error) {
 	m.mu.Lock()
 	if v, ok := m.cache[key]; ok {
 		m.mu.Unlock()
@@ -149,7 +156,7 @@ func (m *MemoizingEvaluator) Evaluate(cfg knobs.Config) (metrics.Vector, error) 
 	m.mu.Unlock()
 	m.misses.Add(1)
 
-	v, err := m.inner.Evaluate(cfg)
+	v, err := inner.Evaluate(cfg)
 	m.settle(key, f, v, err)
 	if err != nil {
 		return nil, err
@@ -175,6 +182,13 @@ func (m *MemoizingEvaluator) settle(key string, f *flight, v metrics.Vector, err
 // callers) are evaluated once, and only the remaining unique misses are
 // forwarded — as one batch — to the wrapped evaluator.
 func (m *MemoizingEvaluator) EvaluateBatch(ctx context.Context, cfgs []knobs.Config) ([]metrics.Vector, error) {
+	return m.evaluateBatchKeyed(ctx, "", cfgs, m.inner)
+}
+
+// evaluateBatchKeyed is the batch core behind EvaluateBatch; keyPrefix and
+// inner let fidelity views reuse the cache machinery with their own key
+// namespace and fidelity-bound inner evaluator.
+func (m *MemoizingEvaluator) evaluateBatchKeyed(ctx context.Context, keyPrefix string, cfgs []knobs.Config, inner Evaluator) ([]metrics.Vector, error) {
 	out := make([]metrics.Vector, len(cfgs))
 	type miss struct {
 		key string
@@ -190,7 +204,7 @@ func (m *MemoizingEvaluator) EvaluateBatch(ctx context.Context, cfgs []knobs.Con
 	started := map[string]bool{}
 	var nHits, nMisses uint64
 	for i, cfg := range cfgs {
-		key := cfg.Key()
+		key := keyPrefix + cfg.Key()
 		keyOf[i] = key
 		if v, ok := m.cache[key]; ok {
 			out[i] = v.Clone()
@@ -219,7 +233,7 @@ func (m *MemoizingEvaluator) EvaluateBatch(ctx context.Context, cfgs []knobs.Con
 
 	var batchErr error
 	if len(missCfgs) > 0 {
-		vs, err := EvaluateAll(ctx, m.inner, missCfgs)
+		vs, err := EvaluateAll(ctx, inner, missCfgs)
 		batchErr = err
 		for j, ms := range misses {
 			var v metrics.Vector
@@ -289,19 +303,48 @@ type Problem struct {
 	Evaluator Evaluator
 	// MaxEpochs bounds the number of tuning epochs.
 	MaxEpochs int
+	// MaxEvaluations bounds the total number of candidate evaluations a run
+	// may propose; zero means unlimited. The budget counts *proposed*
+	// evaluations — every candidate a tuner submits, whether or not a
+	// memoizing evaluator answers it from cache — so a run's budget (and
+	// its progression-vs-evaluations curve) is deterministic regardless of
+	// what a shared cache happens to contain. MemoizingEvaluator's
+	// Hits/Misses counters still report real simulator work separately.
+	MaxEvaluations int
 	// TargetLoss stops tuning early once the best loss drops to or below
-	// this value. Use NoTargetLoss (negative infinity is impractical here,
-	// so any negative value) to disable.
+	// this value. Use NoTargetLoss to disable. Negative targets are
+	// meaningful — maximized stress metrics have negative losses — so only
+	// the sentinel disables the check.
 	TargetLoss float64
 	// Seed drives every stochastic choice of the tuner.
 	Seed int64
 	// Initial optionally fixes the starting configuration; when zero the
 	// tuner starts from a random configuration (the paper's behaviour).
 	Initial knobs.Config
+	// Secondary is an optional second objective (also a loss, minimized).
+	// When set, the run additionally records the Pareto front of
+	// (Loss, Secondary) over the feasible configurations it evaluated in
+	// Result.Pareto. The primary Loss still drives the search.
+	Secondary metrics.Loss
+	// Constraint optionally restricts the search to configurations whose
+	// measured metric stays at or below a cap. Violating candidates are
+	// still evaluated but receive a graded penalty loss that keeps any
+	// feasible candidate preferable while pointing the search back toward
+	// the feasible region.
+	Constraint *Constraint
+}
+
+// Constraint is an upper bound on a measured metric (e.g. chip_power_w for
+// a power-capped voltage-noise search).
+type Constraint struct {
+	// Metric names the constrained metric.
+	Metric string
+	// Max is the largest admissible value.
+	Max float64
 }
 
 // NoTargetLoss disables the early-stop threshold.
-const NoTargetLoss = -1.0
+var NoTargetLoss = math.Inf(-1)
 
 // Validate checks the problem definition.
 func (p Problem) Validate() error {
@@ -317,14 +360,27 @@ func (p Problem) Validate() error {
 	if p.MaxEpochs <= 0 {
 		return fmt.Errorf("tuner: MaxEpochs must be positive, got %d", p.MaxEpochs)
 	}
+	if p.MaxEvaluations < 0 {
+		return fmt.Errorf("tuner: MaxEvaluations must be non-negative, got %d", p.MaxEvaluations)
+	}
 	if !p.Initial.IsZero() && p.Initial.Space() != p.Space {
 		return fmt.Errorf("tuner: initial configuration belongs to a different space")
+	}
+	if p.Constraint != nil {
+		if p.Constraint.Metric == "" {
+			return fmt.Errorf("tuner: constraint without a metric name")
+		}
+		if math.IsNaN(p.Constraint.Max) || math.IsInf(p.Constraint.Max, 0) {
+			return fmt.Errorf("tuner: constraint cap must be finite, got %v", p.Constraint.Max)
+		}
 	}
 	return nil
 }
 
 // hasTarget reports whether the early-stop threshold is enabled.
-func (p Problem) hasTarget() bool { return p.TargetLoss >= 0 }
+func (p Problem) hasTarget() bool {
+	return !math.IsInf(p.TargetLoss, -1) && !math.IsNaN(p.TargetLoss)
+}
 
 // EpochRecord captures the state of the search after one tuning epoch; the
 // sequence of records is the paper's "epoch progression" output.
@@ -340,6 +396,11 @@ type EpochRecord struct {
 	// Evaluations is the number of platform evaluations performed in this
 	// epoch.
 	Evaluations int
+	// CumulativeEvaluations is the run's total evaluation count at the end
+	// of this epoch, so progression series can be plotted against
+	// evaluations spent rather than epochs (the fair axis when comparing
+	// mechanisms with different per-epoch costs).
+	CumulativeEvaluations int
 }
 
 // Result is the outcome of a tuning run.
@@ -357,8 +418,26 @@ type Result struct {
 	// TotalEvaluations is the total number of platform evaluations consumed.
 	TotalEvaluations int
 	// Converged reports whether the run stopped because of convergence or
-	// the target-loss threshold (as opposed to exhausting MaxEpochs).
+	// the target-loss threshold (as opposed to exhausting MaxEpochs or the
+	// evaluation budget).
 	Converged bool
+	// Pareto is the non-dominated front of (Loss, Secondary) over the
+	// feasible configurations evaluated at full fidelity, sorted by primary
+	// loss. Nil unless the problem set a Secondary objective.
+	Pareto []ParetoPoint
+}
+
+// ParetoPoint is one non-dominated configuration of a multi-objective run.
+type ParetoPoint struct {
+	// Config is the evaluated configuration.
+	Config knobs.Config
+	// Loss is its primary loss (without any constraint penalty; only
+	// feasible configurations enter the front).
+	Loss float64
+	// Secondary is its secondary loss.
+	Secondary float64
+	// Metrics is its measured metric vector.
+	Metrics metrics.Vector
 }
 
 // EvaluationsPerEpoch returns the average number of evaluations per epoch.
@@ -376,31 +455,6 @@ type Tuner interface {
 	// Run executes the tuning loop until convergence, the target, the epoch
 	// budget, or context cancellation.
 	Run(ctx context.Context, prob Problem) (Result, error)
-}
-
-// evalLoss is a helper shared by the tuners: evaluate a configuration and
-// score it with the problem loss.
-func evalLoss(prob Problem, eval Evaluator, cfg knobs.Config) (float64, metrics.Vector, error) {
-	v, err := eval.Evaluate(cfg)
-	if err != nil {
-		return 0, nil, err
-	}
-	return prob.Loss.Loss(v), v, nil
-}
-
-// evalBatch evaluates every candidate configuration (in parallel when the
-// problem's evaluator supports batching) and scores each with the problem
-// loss. losses[i] and vectors[i] correspond to cfgs[i].
-func evalBatch(ctx context.Context, prob Problem, cfgs []knobs.Config) ([]float64, []metrics.Vector, error) {
-	vs, err := EvaluateAll(ctx, prob.Evaluator, cfgs)
-	if err != nil {
-		return nil, nil, err
-	}
-	losses := make([]float64, len(vs))
-	for i, v := range vs {
-		losses[i] = prob.Loss.Loss(v)
-	}
-	return losses, vs, nil
 }
 
 // better reports whether candidate loss a is strictly better than b.

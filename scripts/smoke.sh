@@ -75,6 +75,25 @@ diff "$bin_dir/spatial_serial.txt" "$bin_dir/spatial_parallel.txt" || {
     exit 1
 }
 
+# Equal-budget tuner comparison: gradient descent sets the target, CMA-ES and
+# the halving wrapper chase it; the whole table must be bit-deterministic at
+# any parallelism.
+echo "smoke: mgbench tunercmp parallel==serial"
+"$bin_dir/mgbench" -experiment tunercmp -quick -core small -cores 4 -grid 2x2 -instructions 3000 -tuner cmaes,halving-cmaes -parallel 1 \
+    | grep -v 'completed in' > "$bin_dir/tunercmp_serial.txt"
+test -s "$bin_dir/tunercmp_serial.txt" || { echo "FAIL: tunercmp run produced no output" >&2; exit 1; }
+grep -q 'cmaes' "$bin_dir/tunercmp_serial.txt" || { echo "FAIL: tunercmp table lacks the cmaes row" >&2; exit 1; }
+"$bin_dir/mgbench" -experiment tunercmp -quick -core small -cores 4 -grid 2x2 -instructions 3000 -tuner cmaes,halving-cmaes -parallel 4 \
+    | grep -v 'completed in' > "$bin_dir/tunercmp_parallel.txt"
+diff "$bin_dir/tunercmp_serial.txt" "$bin_dir/tunercmp_parallel.txt" || {
+    echo "FAIL: tunercmp results differ between -parallel 1 and -parallel 4" >&2
+    exit 1
+}
+
+# A budget-capped, power-capped stress tuning run with a non-default tuner
+# must work end to end from the CLI.
+run "mgbench cmaes power-cap" "$bin_dir/mgbench" -kind power-virus -quick -core small -instructions 3000 -tuner cmaes -budget 60 -power-cap 50
+
 run "mgworkload list"     "$bin_dir/mgworkload" -list
 run "mgworkload measure"  "$bin_dir/mgworkload" -benchmark mcf -instructions 5000
 
@@ -89,6 +108,10 @@ grep -q '"synth_memo"' "$bin_dir/bench_smoke.json" || {
 }
 grep -q '"grid_solve"' "$bin_dir/bench_smoke.json" || {
     echo "FAIL: mgperf report lacks the grid_solve measurement" >&2
+    exit 1
+}
+grep -q '"fidelity"' "$bin_dir/bench_smoke.json" || {
+    echo "FAIL: mgperf report lacks the fidelity measurement" >&2
     exit 1
 }
 
