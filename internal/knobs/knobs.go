@@ -127,6 +127,7 @@ func (d Def) Validate() error {
 		return fmt.Errorf("knobs: knob %q values are not sorted", d.Name)
 	}
 	for i := 1; i < len(d.Values); i++ {
+		//lint:allow floateq exact duplicate detection over the user-provided sorted level list
 		if d.Values[i] == d.Values[i-1] {
 			return fmt.Errorf("knobs: knob %q has duplicate value %v", d.Name, d.Values[i])
 		}

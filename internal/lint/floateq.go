@@ -1,0 +1,99 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// FloatEq flags == and != between floating-point operands.
+//
+// Two computed floats that are "the same" analytically rarely compare equal
+// bit-for-bit, and whether they do can depend on summation order, fused
+// operations, or an early-exit path — exactly the 1-ULP wobble the
+// determinism pins exist to catch. Comparisons belong in tolerance helpers
+// (math.Abs(a-b) <= eps), which live in _test.go files this analyzer never
+// visits. Two idioms are exact and therefore sanctioned: comparing against
+// a constant zero (the sentinel/empty check used throughout powersim —
+// zero is exactly representable and only ever produced deliberately) and
+// the x != x NaN test.
+var FloatEq = &Analyzer{
+	Name: "floateq",
+	Doc: "forbid ==/!= between floating-point operands outside _test.go tolerance helpers; " +
+		"constant-zero sentinel checks and the x != x NaN idiom are exempt",
+	Run: runFloatEq,
+}
+
+func runFloatEq(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			bin, ok := n.(*ast.BinaryExpr)
+			if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+				return true
+			}
+			if !floatOperand(pass, bin.X) && !floatOperand(pass, bin.Y) {
+				return true
+			}
+			xc, yc := constValue(pass, bin.X), constValue(pass, bin.Y)
+			if xc != nil && yc != nil {
+				return true // both compile-time constants: exact by definition
+			}
+			if isZeroConst(xc) || isZeroConst(yc) {
+				return true // zero sentinel check: exact
+			}
+			if sameExpr(bin.X, bin.Y) {
+				return true // x != x: the NaN idiom
+			}
+			pass.Reportf(bin.OpPos,
+				"floating-point %s comparison is exact to the last ULP and order-sensitive; "+
+					"use a tolerance helper (math.Abs(a-b) <= eps) or compare against an exact sentinel", bin.Op)
+			return true
+		})
+	}
+}
+
+func floatOperand(pass *Pass, expr ast.Expr) bool {
+	t := pass.Info.TypeOf(expr)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+}
+
+func constValue(pass *Pass, expr ast.Expr) constant.Value {
+	if tv, ok := pass.Info.Types[expr]; ok {
+		return tv.Value
+	}
+	return nil
+}
+
+func isZeroConst(v constant.Value) bool {
+	if v == nil {
+		return false
+	}
+	return constant.Sign(v) == 0 && (v.Kind() == constant.Int || v.Kind() == constant.Float)
+}
+
+// sameExpr reports whether two operand ASTs are structurally identical —
+// good enough to recognize the x != x NaN check.
+func sameExpr(a, b ast.Expr) bool {
+	switch ae := a.(type) {
+	case *ast.Ident:
+		be, ok := b.(*ast.Ident)
+		return ok && ae.Name == be.Name
+	case *ast.SelectorExpr:
+		be, ok := b.(*ast.SelectorExpr)
+		return ok && ae.Sel.Name == be.Sel.Name && sameExpr(ae.X, be.X)
+	case *ast.IndexExpr:
+		be, ok := b.(*ast.IndexExpr)
+		return ok && sameExpr(ae.X, be.X) && sameExpr(ae.Index, be.Index)
+	case *ast.ParenExpr:
+		return sameExpr(ae.X, b)
+	}
+	if pe, ok := b.(*ast.ParenExpr); ok {
+		return sameExpr(a, pe.X)
+	}
+	return false
+}

@@ -1,0 +1,314 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// MapRange flags order-sensitive work inside `range` over metric-shaped
+// maps (underlying map[string]float64, notably metrics.Vector and the
+// report weight maps).
+//
+// Go randomizes map iteration order, and float addition is not associative,
+// so summing metric values in map order makes results wobble in the last
+// ULP from run to run — the PR 1 bug fixed in report.MeanAbsError.
+// Likewise, appending keys or values to a slice that is never sorted, or
+// writing output directly from the loop body, leaks the random order into
+// observable results. The sanctioned idiom is to extract the keys, sort
+// them, and range over the sorted slice (metrics.Vector.Names does this);
+// ranging over the map is fine for order-independent work such as copying
+// into another map or writing through the ranged key.
+var MapRange = &Analyzer{
+	Name: "maprange",
+	Doc: "flag range over map[string]float64-shaped types whose body accumulates floats, " +
+		"appends to a never-sorted slice, or writes output; range over sorted keys instead",
+	Run: runMapRange,
+}
+
+func runMapRange(pass *Pass) {
+	for _, f := range pass.Files {
+		// Visit each function exactly once; a FuncLit's body is analyzed
+		// when the literal itself is visited, so the enclosing function's
+		// walk skips it.
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					mapRangeFunc(pass, fn.Body)
+				}
+				return false
+			case *ast.FuncLit:
+				mapRangeFunc(pass, fn.Body)
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// mapRangeFunc checks every metric-map range directly inside body,
+// recursing into nested function literals.
+func mapRangeFunc(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.FuncLit:
+			mapRangeFunc(pass, st.Body)
+			return false
+		case *ast.RangeStmt:
+			if metricMapType(pass, st.X) {
+				checkMetricMapRange(pass, st, body)
+			}
+		}
+		return true
+	})
+}
+
+// metricMapType reports whether expr's type is shaped like a metric map:
+// an (underlying) map from a string-kinded key to a float value.
+func metricMapType(pass *Pass, expr ast.Expr) bool {
+	t := pass.Info.TypeOf(expr)
+	if t == nil {
+		return false
+	}
+	m, ok := t.Underlying().(*types.Map)
+	if !ok {
+		return false
+	}
+	key, ok := m.Key().Underlying().(*types.Basic)
+	if !ok || key.Info()&types.IsString == 0 {
+		return false
+	}
+	elem, ok := m.Elem().Underlying().(*types.Basic)
+	return ok && elem.Info()&types.IsFloat != 0
+}
+
+func checkMetricMapRange(pass *Pass, rng *ast.RangeStmt, fnBody *ast.BlockStmt) {
+	keyObj := rangeKeyObject(pass, rng)
+	reported := map[string]bool{}
+	report := func(kind, format string, args ...any) {
+		if !reported[kind] {
+			reported[kind] = true
+			pass.Reportf(rng.For, format, args...)
+		}
+	}
+
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.AssignStmt:
+			checkRangeAssign(pass, rng, keyObj, e, report)
+		case *ast.CallExpr:
+			if name, ok := outputCall(pass, e); ok {
+				report("output",
+					"writing output (%s) while ranging over a metric map leaks the random iteration order; "+
+						"range over sorted keys instead", name)
+			}
+			if obj := appendTarget(pass, e); obj != nil && declaredOutside(obj, rng) {
+				if !sortedAfter(pass, fnBody, rng, obj) {
+					report("append",
+						"appending to %q while ranging over a metric map without sorting it afterwards "+
+							"makes its order nondeterministic; sort it or range over sorted keys", obj.Name())
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkRangeAssign flags float accumulation into state that outlives the
+// loop: op-assignments (+=, -=, *=, /=) and self-referential plain
+// assignments (sum = sum + v) whose target is float-typed and declared
+// outside the range statement. Writing through the ranged key
+// (out[k] += v) touches each target slot exactly once and is exempt.
+func checkRangeAssign(pass *Pass, rng *ast.RangeStmt, keyObj types.Object, as *ast.AssignStmt, report func(kind, format string, args ...any)) {
+	accumulating := false
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		accumulating = true
+	case token.ASSIGN:
+		// x = x + v style accumulation.
+		for i, lhs := range as.Lhs {
+			if i < len(as.Rhs) && exprMentions(pass, as.Rhs[i], pass.Info.ObjectOf(rootIdent(lhs))) {
+				accumulating = true
+			}
+		}
+	default:
+		return
+	}
+	if !accumulating {
+		return
+	}
+	for _, lhs := range as.Lhs {
+		t := pass.Info.TypeOf(lhs)
+		if t == nil {
+			continue
+		}
+		b, ok := t.Underlying().(*types.Basic)
+		if !ok || b.Info()&types.IsFloat == 0 {
+			continue
+		}
+		if idx, ok := lhs.(*ast.IndexExpr); ok && keyObj != nil {
+			if id, ok := idx.Index.(*ast.Ident); ok && pass.Info.ObjectOf(id) == keyObj {
+				continue // indexed by the ranged key: each slot written once
+			}
+		}
+		obj := pass.Info.ObjectOf(rootIdent(lhs))
+		if obj == nil || declaredOutside(obj, rng) {
+			report("accumulate",
+				"accumulating floats in map iteration order is nondeterministic "+
+					"(float addition is not associative); sum over sorted keys instead")
+			return
+		}
+	}
+}
+
+// rangeKeyObject returns the object bound to the range key, if any.
+func rangeKeyObject(pass *Pass, rng *ast.RangeStmt) types.Object {
+	id, ok := rng.Key.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if obj := pass.Info.Defs[id]; obj != nil {
+		return obj
+	}
+	return pass.Info.Uses[id]
+}
+
+// rootIdent digs the base identifier out of selector/index/paren chains.
+func rootIdent(expr ast.Expr) *ast.Ident {
+	for {
+		switch e := expr.(type) {
+		case *ast.Ident:
+			return e
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.ParenExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		default:
+			return nil
+		}
+	}
+}
+
+// declaredOutside reports whether obj's declaration lies outside the range
+// statement's span (struct fields and package-level vars always do).
+func declaredOutside(obj types.Object, rng *ast.RangeStmt) bool {
+	if obj == nil {
+		return false
+	}
+	return obj.Pos() < rng.Pos() || obj.Pos() >= rng.End()
+}
+
+// exprMentions reports whether obj is referenced anywhere inside expr.
+func exprMentions(pass *Pass, expr ast.Expr, obj types.Object) bool {
+	if obj == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.Info.ObjectOf(id) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// appendTarget returns the variable receiving a builtin append result
+// (x = append(x, ...)), or nil.
+func appendTarget(pass *Pass, call *ast.CallExpr) types.Object {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return nil
+	}
+	if b, ok := pass.Info.Uses[id].(*types.Builtin); !ok || b.Name() != "append" {
+		return nil
+	}
+	if len(call.Args) == 0 {
+		return nil
+	}
+	root := rootIdent(call.Args[0])
+	if root == nil {
+		return nil
+	}
+	return pass.Info.ObjectOf(root)
+}
+
+// sortedAfter reports whether a sort.* or slices.Sort* call mentioning obj
+// appears in fnBody after the range statement — the sanctioned
+// collect-then-sort idiom.
+func sortedAfter(pass *Pass, fnBody *ast.BlockStmt, rng *ast.RangeStmt, obj types.Object) bool {
+	sorted := false
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() || sorted {
+			return !sorted
+		}
+		fn := calleeFunc(pass, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		pkg := fn.Pkg().Path()
+		if pkg != "sort" && pkg != "slices" {
+			return true
+		}
+		if !strings.HasPrefix(fn.Name(), "Sort") && !isSortConstructor(fn.Name()) {
+			return true
+		}
+		for _, arg := range call.Args {
+			if exprMentions(pass, arg, obj) {
+				sorted = true
+			}
+		}
+		return !sorted
+	})
+	return sorted
+}
+
+// isSortConstructor matches the sort-package entry points that do not start
+// with "Sort" (sort.Strings, sort.Float64s, sort.Ints, sort.Slice...).
+func isSortConstructor(name string) bool {
+	switch name {
+	case "Strings", "Ints", "Float64s", "Slice", "SliceStable", "Stable":
+		return true
+	}
+	return false
+}
+
+// outputCall recognizes calls that emit output: fmt print functions and
+// Write*/Print* methods (io.Writer, strings.Builder, tabwriter, ...).
+func outputCall(pass *Pass, call *ast.CallExpr) (string, bool) {
+	fn := calleeFunc(pass, call)
+	if fn == nil {
+		return "", false
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" && sig != nil && sig.Recv() == nil &&
+		strings.Contains(fn.Name(), "rint") { // Print, Fprintf, Sprintln, ...
+		return "fmt." + fn.Name(), true
+	}
+	if sig != nil && sig.Recv() != nil &&
+		(strings.HasPrefix(fn.Name(), "Write") || strings.HasPrefix(fn.Name(), "Print")) {
+		return fn.Name(), true
+	}
+	return "", false
+}
+
+// calleeFunc resolves a call's static callee, if it is a declared function
+// or method.
+func calleeFunc(pass *Pass, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := pass.Info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := pass.Info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}

@@ -1,0 +1,149 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MixedAtomic flags struct fields that are accessed both through
+// sync/atomic functions and through plain reads or writes — the PR 4 bug
+// class, where CoRunPlatform.evaluations was bumped atomically on the
+// fan-out path but read plainly by Evaluations(). A field that needs atomic
+// access must be atomic everywhere, and the repo's sanctioned idiom is to
+// declare it as one of the sync/atomic value types (atomic.Uint64,
+// atomic.Int64, ...), whose methods make plain access impossible. Calling
+// an atomic.* function on a plain-typed field is therefore flagged even
+// when every access site happens to be atomic today: the type system should
+// enforce the invariant, not convention.
+var MixedAtomic = &Analyzer{
+	Name: "mixedatomic",
+	Doc: "a struct field accessed via sync/atomic must never be read or written plainly elsewhere; " +
+		"declare such fields as sync/atomic value types (atomic.Uint64, ...)",
+	Run: runMixedAtomic,
+}
+
+func runMixedAtomic(pass *Pass) {
+	// First pass: find every struct field whose address is passed to a
+	// sync/atomic function, remembering the selector nodes involved so the
+	// second pass can exempt them.
+	atomicFields := map[*types.Var][]ast.Node{} // field -> atomic call sites
+	atomicSels := map[*ast.SelectorExpr]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return true // methods of atomic.Uint64 etc. are the sanctioned idiom
+			}
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok {
+					continue
+				}
+				sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				fld := fieldVar(pass, sel)
+				if fld == nil {
+					continue
+				}
+				atomicFields[fld] = append(atomicFields[fld], call)
+				atomicSels[sel] = true
+				pass.Reportf(sel.Pos(),
+					"atomic.%s on plain-typed field %s.%s: declare the field as a sync/atomic value type "+
+						"(atomic.%s) so plain access is impossible", fn.Name(), fieldOwner(fld), fld.Name(), atomicTypeFor(fld))
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return
+	}
+
+	// Second pass: any other selector touching one of those fields is a
+	// plain access racing the atomic sites.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || atomicSels[sel] {
+				return true
+			}
+			fld := fieldVar(pass, sel)
+			if fld == nil {
+				return true
+			}
+			if _, tracked := atomicFields[fld]; !tracked {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"plain access to field %s.%s, which is accessed via sync/atomic elsewhere in this package; "+
+					"mixed plain/atomic access races", fieldOwner(fld), fld.Name())
+			return true
+		})
+	}
+}
+
+// fieldVar resolves sel to a struct field variable, or nil.
+func fieldVar(pass *Pass, sel *ast.SelectorExpr) *types.Var {
+	v, ok := pass.Info.ObjectOf(sel.Sel).(*types.Var)
+	if !ok || !v.IsField() {
+		return nil
+	}
+	return v
+}
+
+// fieldOwner names the struct a field belongs to, best-effort, for
+// diagnostics.
+func fieldOwner(fld *types.Var) string {
+	if fld.Pkg() == nil {
+		return "?"
+	}
+	scope := fld.Pkg().Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			if st.Field(i) == fld {
+				return tn.Name()
+			}
+		}
+	}
+	return "?"
+}
+
+// atomicTypeFor suggests the sync/atomic value type matching a field's
+// plain type.
+func atomicTypeFor(fld *types.Var) string {
+	b, ok := fld.Type().Underlying().(*types.Basic)
+	if !ok {
+		return "Value"
+	}
+	switch b.Kind() {
+	case types.Int32:
+		return "Int32"
+	case types.Int64, types.Int:
+		return "Int64"
+	case types.Uint32:
+		return "Uint32"
+	case types.Uint64, types.Uint:
+		return "Uint64"
+	case types.Uintptr:
+		return "Uintptr"
+	case types.Bool:
+		return "Bool"
+	}
+	return "Value"
+}

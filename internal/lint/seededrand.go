@@ -1,0 +1,68 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// SeededRand forbids the global math/rand source in internal/... packages.
+//
+// Every result this repo reports is pinned by determinism tests, and the
+// global rand functions (rand.Intn, rand.Float64, ...) share one
+// process-wide source whose state depends on everything else that drew from
+// it — including the order goroutines interleave. rand.Seed mutates that
+// shared state and has been deprecated upstream. Randomness must instead
+// flow through a locally constructed *rand.Rand derived from an explicit
+// seed (rand.New(rand.NewSource(seed))), the pattern every tuner and
+// trace.Expander already follows.
+var SeededRand = &Analyzer{
+	Name: "seededrand",
+	Doc: "forbid global math/rand top-level functions and rand.Seed in internal/... packages; " +
+		"draw from a locally constructed *rand.Rand with an explicit seed instead",
+	Run: runSeededRand,
+}
+
+// seededRandAllowed lists the math/rand top-level functions that construct
+// an explicitly seeded generator rather than drawing from the global one.
+var seededRandAllowed = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+func runSeededRand(pass *Pass) {
+	if !pass.InternalPackage() {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.Info.Uses[id].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			pkgPath := fn.Pkg().Path()
+			if pkgPath != "math/rand" && pkgPath != "math/rand/v2" {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return true // *rand.Rand / rand.Source methods are fine
+			}
+			if fn.Name() == "Seed" {
+				pass.Reportf(id.Pos(),
+					"rand.Seed mutates the shared global source; construct rand.New(rand.NewSource(seed)) instead")
+				return true
+			}
+			if !seededRandAllowed[fn.Name()] && !strings.HasPrefix(fn.Name(), "New") {
+				pass.Reportf(id.Pos(),
+					"global math/rand function %s draws from the shared process-wide source; "+
+						"use a locally constructed *rand.Rand derived from an explicit seed", fn.Name())
+			}
+			return true
+		})
+	}
+}

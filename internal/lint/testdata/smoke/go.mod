@@ -1,0 +1,3 @@
+module lintsmoke
+
+go 1.24

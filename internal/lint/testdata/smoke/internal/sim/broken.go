@@ -1,0 +1,33 @@
+// Package sim is a deliberately lint-broken fixture: scripts/smoke.sh runs
+// mglint over this mini-module and asserts a non-zero exit with one
+// diagnostic from every analyzer in the suite.
+package sim
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"time"
+)
+
+// Vector mirrors metrics.Vector.
+type Vector map[string]float64
+
+// State mixes atomic and plain access to the same counter.
+type State struct {
+	evals uint64
+}
+
+// Step trips seededrand, walltime, mixedatomic and floateq at once.
+func (s *State) Step(v Vector, threshold float64) (float64, bool) {
+	atomic.AddUint64(&s.evals, 1) // mixedatomic: atomic.* on a plain-typed field
+	jitter := rand.Float64()      // seededrand: global source
+	_ = time.Now()                // walltime: wall clock in internal/ code
+	sum := 0.0                    //
+	for _, val := range v {       // maprange: float accumulation in map order
+		sum += val
+	}
+	return sum, sum+jitter == threshold // floateq: exact comparison of computed floats
+}
+
+// Evals reads the counter plainly: the other half of the mixedatomic race.
+func (s *State) Evals() uint64 { return s.evals }

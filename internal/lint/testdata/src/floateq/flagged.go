@@ -1,0 +1,18 @@
+package fixture
+
+// Equal compares two computed floats exactly — whether they match can flip
+// with summation order or an early-exit path.
+func Equal(a, b float64) bool {
+	return a == b // want "floating-point == comparison"
+}
+
+// Converged compares against a nonzero literal; 0.3 is not exactly
+// representable, so this is still the bug class.
+func Converged(loss float64) bool {
+	return loss != 0.3 // want "floating-point != comparison"
+}
+
+// MixedWidth compares a float32 against a computed float64.
+func MixedWidth(a float32, b float64) bool {
+	return float64(a) == b/3 // want "floating-point == comparison"
+}

@@ -1,0 +1,31 @@
+package fixture
+
+import "math"
+
+const eps = 1e-9
+
+// CloseEnough is the sanctioned tolerance helper.
+func CloseEnough(a, b float64) bool {
+	return math.Abs(a-b) <= eps
+}
+
+// Empty is the exact zero-sentinel check: zero is exactly representable and
+// only ever produced deliberately.
+func Empty(total float64) bool {
+	return total == 0
+}
+
+// IsNaN is the x != x idiom — the one value not equal to itself.
+func IsNaN(x float64) bool {
+	return x != x
+}
+
+// The NaN idiom is recognized through selectors and indexing too.
+func isNaNField(p struct{ v float64 }) bool { return p.v != p.v }
+func isNaNIndex(xs []float64, i int) bool   { return (xs[i]) != xs[i] }
+
+// constantCheck compares two compile-time constants: exact by definition.
+func constantCheck() bool {
+	const half = 0.5
+	return half == 1.0/2.0
+}

@@ -1,0 +1,8 @@
+package fixture
+
+// SameLoss documents a deliberate exact comparison (identity check of a
+// copied value, the tuner engine idiom).
+func SameLoss(recorded, current float64) bool {
+	//lint:allow floateq fixture exercising the suppression path
+	return recorded == current
+}

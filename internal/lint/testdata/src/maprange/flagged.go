@@ -1,0 +1,72 @@
+package fixture
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Vector mirrors metrics.Vector: the map shape the analyzer targets.
+type Vector map[string]float64
+
+// SumInMapOrder accumulates floats in map iteration order — the PR 1 bug
+// class fixed in report.MeanAbsError.
+func SumInMapOrder(v Vector) float64 {
+	sum := 0.0
+	for _, val := range v { // want "accumulating floats in map iteration order"
+		sum += val
+	}
+	return sum
+}
+
+// MeanViaSelfAssign accumulates through a plain self-referential assignment.
+func MeanViaSelfAssign(v Vector) float64 {
+	total := 0.0
+	for _, val := range v { // want "accumulating floats in map iteration order"
+		total = total + val
+	}
+	return total / float64(len(v))
+}
+
+// CollectUnsorted appends the keys and never sorts them, so the slice order
+// is nondeterministic.
+func CollectUnsorted(v Vector) []string {
+	names := make([]string, 0, len(v))
+	for k := range v { // want "appending to"
+		names = append(names, k)
+	}
+	return names
+}
+
+// PrintInMapOrder writes output straight from the loop body.
+func PrintInMapOrder(v Vector) {
+	for k, val := range v { // want "writing output"
+		fmt.Printf("%s=%g\n", k, val)
+	}
+}
+
+// BuildReport writes through a strings.Builder method — same hazard.
+func BuildReport(v Vector) string {
+	var b strings.Builder
+	for k := range v { // want "writing output"
+		b.WriteString(k)
+	}
+	return b.String()
+}
+
+// ClosureSum hides the accumulation inside a closure in the loop body.
+func ClosureSum(v Vector) float64 {
+	sum := 0.0
+	for _, val := range v { // want "accumulating floats"
+		func() { sum += val }()
+	}
+	return sum
+}
+
+// LitRange puts the violating range inside a top-level function literal.
+var LitRange = func(v Vector) float64 {
+	sum := 0.0
+	for _, val := range v { // want "accumulating floats"
+		sum += val
+	}
+	return sum
+}

@@ -1,0 +1,59 @@
+package fixture
+
+import "sort"
+
+// SortedSum is the sanctioned idiom: extract the keys, sort them, then fold
+// over the sorted slice (metrics.Vector.Names does exactly this).
+func SortedSum(v Vector) float64 {
+	names := make([]string, 0, len(v))
+	for k := range v {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	sum := 0.0
+	for _, k := range names {
+		sum += v[k]
+	}
+	return sum
+}
+
+// CopyScaled writes through the ranged key: each destination slot is
+// touched exactly once, so iteration order cannot matter.
+func CopyScaled(v Vector, f float64) Vector {
+	out := make(Vector, len(v))
+	for k, val := range v {
+		out[k] = val * f
+	}
+	return out
+}
+
+// AddInPlace op-assigns through the ranged key — still one slot per key.
+func AddInPlace(dst, src Vector) {
+	for k, val := range src {
+		dst[k] += val
+	}
+}
+
+// SortedBySlice sanctions the collect-then-sort idiom via sort.Slice.
+func SortedBySlice(v Vector) []string {
+	names := []string{}
+	for k := range v {
+		names = append(names, k)
+	}
+	sort.Slice(names, func(i, j int) bool { return names[i] < names[j] })
+	return names
+}
+
+// LoopLocal accumulates into a variable scoped to the loop body: the value
+// never escapes an iteration, so order cannot matter.
+func LoopLocal(v Vector) int {
+	hits := 0
+	for _, val := range v {
+		scaled := 0.0
+		scaled += val * 2
+		if scaled > 1 {
+			hits++
+		}
+	}
+	return hits
+}

@@ -1,0 +1,12 @@
+package fixture
+
+// WeightedTotal documents a deliberate any-order fold (e.g. feeding an
+// order-insensitive consumer) with a suppression directive.
+func WeightedTotal(v Vector) float64 {
+	total := 0.0
+	//lint:allow maprange fixture exercising the suppression path
+	for _, val := range v {
+		total += val
+	}
+	return total
+}

@@ -1,0 +1,37 @@
+package fixture
+
+import "sync/atomic"
+
+// Counter mixes atomic and plain access to the same field — the PR 4 bug
+// class (CoRunPlatform.evaluations).
+type Counter struct {
+	n uint64
+}
+
+// Inc bumps the counter atomically, which also flags the plain-typed field
+// itself: the type system, not convention, should forbid plain access.
+func (c *Counter) Inc() {
+	atomic.AddUint64(&c.n, 1) // want "atomic.AddUint64 on plain-typed field"
+}
+
+// Value reads the same field without synchronization: a data race.
+func (c *Counter) Value() uint64 {
+	return c.n // want "plain access to field"
+}
+
+// Gauge exercises the other integer widths the suggestion covers.
+type Gauge struct {
+	hi int64
+	lo int32
+	up uint32
+	pt uintptr
+}
+
+// Bump is atomic-only, which still flags each plain-typed field: the type
+// system should make the invariant unbreakable.
+func (g *Gauge) Bump() {
+	atomic.AddInt64(&g.hi, 1)   // want "atomic.Int64"
+	atomic.AddInt32(&g.lo, 1)   // want "atomic.Int32"
+	atomic.AddUint32(&g.up, 1)  // want "atomic.Uint32"
+	atomic.AddUintptr(&g.pt, 1) // want "atomic.Uintptr"
+}

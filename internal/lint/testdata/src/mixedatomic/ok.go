@@ -1,0 +1,21 @@
+package fixture
+
+import "sync/atomic"
+
+// SafeCounter is the sanctioned idiom: a sync/atomic value type, whose
+// methods make plain access impossible by construction.
+type SafeCounter struct {
+	n atomic.Uint64
+}
+
+// Inc and Value can only ever touch the field atomically.
+func (c *SafeCounter) Inc()          { c.n.Add(1) }
+func (c *SafeCounter) Value() uint64 { return c.n.Load() }
+
+// Plain is a field never touched by sync/atomic; ordinary access is fine.
+type Plain struct {
+	n uint64
+}
+
+// Bump is single-goroutine state, no atomics anywhere: not flagged.
+func (p *Plain) Bump() { p.n++ }

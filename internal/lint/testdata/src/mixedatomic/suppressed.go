@@ -1,0 +1,21 @@
+package fixture
+
+import "sync/atomic"
+
+// LegacyCounter keeps a plain-typed field with function-style atomics; both
+// the atomic call and the setup-phase plain write carry directives.
+type LegacyCounter struct {
+	n uint64
+}
+
+// Inc documents why the field stays plain-typed.
+func (c *LegacyCounter) Inc() {
+	//lint:allow mixedatomic fixture exercising the suppression path
+	atomic.AddUint64(&c.n, 1)
+}
+
+// Reset runs strictly before the counter is shared.
+func (c *LegacyCounter) Reset() {
+	//lint:allow mixedatomic single-goroutine setup phase before any concurrent access
+	c.n = 0
+}

@@ -1,0 +1,15 @@
+package fixture
+
+import "math/rand"
+
+// GlobalDraws draws from the process-wide source: both the reseed and the
+// top-level draw are violations.
+func GlobalDraws() int {
+	rand.Seed(42)        // want "rand.Seed mutates the shared global source"
+	return rand.Intn(10) // want "global math/rand function Intn"
+}
+
+// GlobalShuffle leaks the shared source into an ordering decision.
+func GlobalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "global math/rand function Shuffle"
+}

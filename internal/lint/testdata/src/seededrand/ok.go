@@ -1,0 +1,15 @@
+package fixture
+
+import "math/rand"
+
+// Seeded is the sanctioned idiom: a locally constructed generator derived
+// from an explicit seed, the pattern every tuner and trace.Expander follows.
+func Seeded(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64()
+}
+
+// Threaded draws from a generator handed down by the caller.
+func Threaded(rng *rand.Rand, n int) int {
+	return rng.Intn(n)
+}

@@ -1,0 +1,11 @@
+package fixture
+
+import "math/rand"
+
+// Suppressed documents a deliberate exception with an //lint:allow
+// directive; the diagnostic it suppresses must exist or the directive is
+// reported as stale.
+func Suppressed() float64 {
+	//lint:allow seededrand fixture exercising the suppression path
+	return rand.Float64()
+}

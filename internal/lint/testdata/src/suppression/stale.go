@@ -1,0 +1,23 @@
+package fixture
+
+// Add is lint-clean, so the directive above it suppresses nothing and must
+// itself be reported — suppressions cannot outlive their reason.
+//
+//lint:allow floateq obsolete excuse kept after the comparison it covered was deleted
+func Add(a, b float64) float64 {
+	return a + b
+}
+
+// Sub carries a directive with no reason: malformed.
+//
+//lint:allow floateq
+func Sub(a, b float64) float64 {
+	return a - b
+}
+
+// Mul names an analyzer that does not exist.
+//
+//lint:allow nosuchanalyzer because it seemed like a good idea
+func Mul(a, b float64) float64 {
+	return a * b
+}

@@ -1,0 +1,13 @@
+package sim
+
+import "time"
+
+// Stamp reads the wall clock inside simulation code.
+func Stamp() time.Time {
+	return time.Now() // want "time.Now reads the wall clock"
+}
+
+// Elapsed measures host time, which depends on machine load.
+func Elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want "time.Since reads the wall clock"
+}

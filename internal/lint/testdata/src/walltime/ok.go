@@ -1,0 +1,14 @@
+package sim
+
+import "time"
+
+// Advance moves simulated time forward purely from its inputs — no wall
+// clock involved, so the result is a function of the arguments alone.
+func Advance(base time.Time, d time.Duration) time.Time {
+	return base.Add(d)
+}
+
+// Span does duration arithmetic on values the caller supplies.
+func Span(cycles uint64, perCycle time.Duration) time.Duration {
+	return time.Duration(cycles) * perCycle
+}

@@ -1,0 +1,10 @@
+package sim
+
+import "time"
+
+// Suppressed documents a deliberate wall-clock read (e.g. coarse progress
+// logging that never feeds a result).
+func Suppressed() time.Time {
+	//lint:allow walltime fixture exercising the suppression path
+	return time.Now()
+}

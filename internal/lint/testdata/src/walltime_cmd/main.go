@@ -1,0 +1,13 @@
+// Package main stands in for a cmd/ binary: wall-clock timing is allowed
+// outside internal/..., so nothing here is flagged.
+package main
+
+import (
+	"fmt"
+	"time"
+)
+
+func main() {
+	start := time.Now()
+	fmt.Println("elapsed:", time.Since(start))
+}

@@ -128,6 +128,7 @@ func (p SetInstructionTypeByProfilePass) Apply(b *Builder) error {
 		order[i] = i
 	}
 	sort.Slice(order, func(a, c int) bool {
+		//lint:allow floateq exact tie-break in the largest-remainder apportionment comparator
 		if remainders[order[a]] != remainders[order[c]] {
 			return remainders[order[a]] > remainders[order[c]]
 		}
@@ -204,6 +205,7 @@ func (p DutyCyclePass) Apply(b *Builder) error {
 	if p.BurstLen < 2 {
 		return fmt.Errorf("burst length %d < 2", p.BurstLen)
 	}
+	//lint:allow floateq 1.0 is exactly representable and Duty comes from the knob value grid
 	if p.Duty == 1 {
 		return nil // fully active: nothing to throttle
 	}

@@ -474,6 +474,7 @@ func gridNeighbors(rows, cols int) [][]int {
 // vectors — the grid version of the lumped models' exact-convergence check.
 func gridStateEqual(a, b []float64) bool {
 	for i := range a {
+		//lint:allow floateq deliberate bitwise convergence check; inexact tolerance would change results
 		if a[i] != b[i] {
 			return false
 		}

@@ -187,9 +187,18 @@ func (m *Model) EnergyBreakdown(r cpusim.Result) Breakdown {
 	comp["mispredict"] = float64(r.Branch.Mispredicts) * m.coeff.MispredictPJ
 	comp["clock"] = float64(r.Cycles) * m.coeff.ClockPJPerCycle
 
+	// Sum in sorted component order: float addition is not associative, so
+	// accumulating in map iteration order would make TotalPJ — and every
+	// dynamic_power_w metric derived from it — wobble in the last ULP from
+	// run to run (the report.MeanAbsError bug class).
+	names := make([]string, 0, len(comp))
+	for n := range comp {
+		names = append(names, n)
+	}
+	sort.Strings(names)
 	total := 0.0
-	for _, e := range comp {
-		total += e
+	for _, n := range names {
+		total += comp[n]
 	}
 	return Breakdown{
 		Components:   comp,

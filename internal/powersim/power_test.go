@@ -2,6 +2,7 @@ package powersim
 
 import (
 	"math"
+	"sort"
 	"testing"
 	"testing/quick"
 
@@ -151,5 +152,41 @@ func TestPropertyPowerScalesWithFrequency(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
 		t.Error(err)
+	}
+}
+
+// Regression (mglint maprange): EnergyBreakdown used to sum its component
+// map in map iteration order, so TotalPJ — and every dynamic_power_w metric
+// derived from it — could wobble in the last ULP between runs. The total is
+// now folded in sorted component order; pin it bit-identical to that fold
+// and stable across repeated calls.
+func TestBreakdownTotalSumsInSortedOrder(t *testing.T) {
+	m, _ := New(SmallCoreCoefficients())
+	r := fakeResult(12345, 6789, map[isa.Class]float64{
+		isa.ClassInteger: 0.31, isa.ClassFloat: 0.17, isa.ClassBranch: 0.13,
+		isa.ClassLoad: 0.23, isa.ClassStore: 0.11, isa.ClassNop: 0.05,
+	})
+	r.MemAccesses = 731
+	r.Branch.Mispredicts = 397
+	r.L2.Accesses = 1013
+	r.L2.Prefetches = 89
+
+	base := m.EnergyBreakdown(r)
+	names := make([]string, 0, len(base.Components))
+	for n := range base.Components {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	sortedSum := 0.0
+	for _, n := range names {
+		sortedSum += base.Components[n]
+	}
+	if base.TotalPJ != sortedSum {
+		t.Fatalf("TotalPJ = %v, want the sorted-order fold %v (bit-identical)", base.TotalPJ, sortedSum)
+	}
+	for i := 0; i < 50; i++ {
+		if again := m.EnergyBreakdown(r).TotalPJ; again != base.TotalPJ {
+			t.Fatalf("run %d: TotalPJ = %v, differs from first run %v", i, again, base.TotalPJ)
+		}
 	}
 }

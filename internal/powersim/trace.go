@@ -547,6 +547,7 @@ func (s SupplyModel) WorstDroopMV(t PowerTrace) float64 {
 		// further pass replays the identical trajectory: stop early. The
 		// comparison is exact, so the result is bit-identical to running
 		// all remaining passes.
+		//lint:allow floateq deliberate exact-state convergence check; stopping is bit-identical
 		if i == iStart && v == vStart {
 			break
 		}
@@ -638,6 +639,7 @@ func (m ThermalModel) SteadyTempC(t PowerTrace) float64 {
 		}
 		// A pass that ends exactly where it began would replay identically
 		// forever; stopping is bit-identical to running the rest.
+		//lint:allow floateq deliberate exact-state convergence check; stopping is bit-identical
 		if temp == tStart {
 			break
 		}

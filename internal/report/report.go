@@ -136,9 +136,11 @@ func AsciiChart(title string, width, height int, series ...Series) string {
 		height = 4
 	}
 	minX, maxX, minY, maxY := rangeOf(series)
+	//lint:allow floateq degenerate-range guard widening a zero span; any nonzero span renders fine
 	if maxX == minX {
 		maxX = minX + 1
 	}
+	//lint:allow floateq degenerate-range guard widening a zero span; any nonzero span renders fine
 	if maxY == minY {
 		maxY = minY + 1
 	}

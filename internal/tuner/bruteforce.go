@@ -108,6 +108,7 @@ func (b *BruteForce) Run(ctx context.Context, prob Problem) (Result, error) {
 
 	finish := func() (Result, error) {
 		e.res.Converged = true
+		//lint:allow floateq identity check of a copied value, not a numeric comparison
 		if n := len(e.res.Epochs); n == 0 || e.res.Epochs[n-1].BestLoss != e.res.BestLoss {
 			e.appendRecord(e.res.BestLoss, e.res.TotalEvaluations%b.params.ReportEvery)
 		}

@@ -273,6 +273,7 @@ func (e *engine) done() bool {
 func (e *engine) result() Result {
 	if e.prob.Secondary != nil {
 		sort.SliceStable(e.pareto, func(i, j int) bool {
+			//lint:allow floateq exact tie-break in a sort comparator; a tolerance would break transitivity
 			if e.pareto[i].Loss != e.pareto[j].Loss {
 				return e.pareto[i].Loss < e.pareto[j].Loss
 			}

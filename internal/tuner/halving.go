@@ -177,6 +177,7 @@ func (s *SuccessiveHalving) Run(ctx context.Context, prob Problem) (Result, erro
 
 	rank := func(pool []candidate) {
 		sort.SliceStable(pool, func(a, b int) bool {
+			//lint:allow floateq exact tie-break in a sort comparator; a tolerance would break transitivity
 			if pool[a].loss != pool[b].loss {
 				return pool[a].loss < pool[b].loss
 			}

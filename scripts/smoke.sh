@@ -94,6 +94,33 @@ diff "$bin_dir/tunercmp_serial.txt" "$bin_dir/tunercmp_parallel.txt" || {
 # must work end to end from the CLI.
 run "mgbench cmaes power-cap" "$bin_dir/mgbench" -kind power-virus -quick -core small -instructions 3000 -tuner cmaes -budget 60 -power-cap 50
 
+# Static analysis: mglint must list its suite, pass the (clean) tree, and —
+# run over the deliberately broken fixture module — report a violation from
+# every analyzer and exit non-zero in both standalone and vet-tool modes.
+run "mglint list"         "$bin_dir/mglint" -list
+echo "smoke: mglint clean tree"
+"$bin_dir/mglint" ./... || { echo "FAIL: mglint found diagnostics on the clean tree" >&2; exit 1; }
+echo "smoke: mglint broken fixture"
+lint_out="$(cd internal/lint/testdata/smoke && "$bin_dir/mglint" ./... 2>&1)" && {
+    echo "FAIL: mglint exited 0 on the broken fixture" >&2
+    exit 1
+}
+for a in seededrand walltime maprange mixedatomic floateq; do
+    echo "$lint_out" | grep -q "\[$a\]" || {
+        echo "FAIL: broken-fixture run lacks a $a diagnostic (got: $lint_out)" >&2
+        exit 1
+    }
+done
+echo "smoke: mglint as go vet -vettool"
+(cd internal/lint/testdata/smoke && go vet -vettool="$bin_dir/mglint" ./... 2>/dev/null) && {
+    echo "FAIL: go vet -vettool=mglint exited 0 on the broken fixture" >&2
+    exit 1
+}
+go vet -vettool="$bin_dir/mglint" ./internal/metrics || {
+    echo "FAIL: go vet -vettool=mglint failed on a clean package" >&2
+    exit 1
+}
+
 run "mgworkload list"     "$bin_dir/mgworkload" -list
 run "mgworkload measure"  "$bin_dir/mgworkload" -benchmark mcf -instructions 5000
 
