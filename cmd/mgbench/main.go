@@ -93,6 +93,7 @@ func run(args []string, out io.Writer) error {
 		tunerName  = fs.String("tuner", "", "stress-tuning mechanism: gd, ga, annealing, random, bruteforce, cmaes, halving-gd, halving-cmaes (empty = gd); for -experiment tunercmp, a comma-separated challenger list")
 		maxEvals   = fs.Int("budget", 0, "proposed-evaluation budget per stress tuning run (0 = bounded by epochs only)")
 		powerCap   = fs.Float64("power-cap", 0, "dynamic power cap in watts for stress tuning (0 = uncapped; capped runs report the objective/power Pareto front)")
+		memoCap    = fs.Int("memo-cap", 0, "bound each run's evaluation cache to this many entries with LRU eviction (0 = unbounded)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -122,6 +123,9 @@ func run(args []string, out io.Writer) error {
 	}
 	if *powerCap > 0 {
 		budget.PowerCapW = *powerCap
+	}
+	if *memoCap > 0 {
+		budget.MemoCap = *memoCap
 	}
 	var challengers []string
 	if *tunerName != "" {

@@ -1,0 +1,107 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseGrid(t *testing.T) {
+	cases := []struct {
+		in         string
+		cores      int
+		rows, cols int
+		wantErr    bool
+	}{
+		{"", 2, 1, 2, false},
+		{"", 4, 2, 2, false},
+		{"", 5, 2, 3, false},
+		{"", 0, 1, 1, false},
+		{"2x3", 4, 2, 3, false},
+		{" 2 X 3 ", 4, 2, 3, false},
+		{"2x3x4", 4, 0, 0, true},
+		{"2", 4, 0, 0, true},
+		{"0x3", 4, 0, 0, true},
+		{"ax3", 4, 0, 0, true},
+	}
+	for _, c := range cases {
+		rows, cols, err := parseGrid(c.in, c.cores)
+		if (err != nil) != c.wantErr {
+			t.Errorf("parseGrid(%q, %d) error = %v, wantErr %v", c.in, c.cores, err, c.wantErr)
+			continue
+		}
+		if err == nil && (rows != c.rows || cols != c.cols) {
+			t.Errorf("parseGrid(%q, %d) = %dx%d, want %dx%d", c.in, c.cores, rows, cols, c.rows, c.cols)
+		}
+	}
+}
+
+func TestParseFreqs(t *testing.T) {
+	freqs, err := parseFreqs(" 2.0, 1.2 ")
+	if err != nil || len(freqs) != 2 || freqs[0] != 2.0 || freqs[1] != 1.2 {
+		t.Fatalf("parseFreqs = %v, %v", freqs, err)
+	}
+	if got, err := parseFreqs(""); got != nil || err != nil {
+		t.Fatalf("empty list = %v, %v", got, err)
+	}
+	for _, bad := range []string{"2.0,x", "0", "-1", "+Inf"} {
+		if _, err := parseFreqs(bad); err == nil {
+			t.Errorf("parseFreqs(%q) accepted", bad)
+		}
+	}
+}
+
+func TestRunStaticTables(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-experiment", "tableI"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-experiment", "tableII"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "completed in") {
+		t.Fatalf("table runs produced: %q", out.String())
+	}
+}
+
+func TestRunRejectsBadInputs(t *testing.T) {
+	var out bytes.Buffer
+	for _, args := range [][]string{
+		{"-no-such-flag"},
+		{"-experiment", "no-such-experiment"},
+		{"-kind", "no-such-kind"},
+		{"-grid", "bogus"},
+		{"-freqs", "bogus"},
+		{"-experiment", "fig5", "-tuner", "gd,ga"}, // tuner lists are tunercmp-only
+		{"-experiment", "spatial", "-floorplan", "9,9", "-grid", "2x2"},
+	} {
+		if err := run(args, &out); err == nil {
+			t.Errorf("run(%v) succeeded", args)
+		}
+	}
+}
+
+func TestRunKindWithCSVAndTrace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a quick tuning loop")
+	}
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "trace.csv")
+	var out bytes.Buffer
+	args := []string{"-kind", "perf-virus", "-quick", "-core", "small",
+		"-instructions", "2000", "-seed", "1", "-memo-cap", "64",
+		"-csv", dir, "-trace", trace}
+	if err := run(args, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{trace, filepath.Join(dir, "perf-virus.csv")} {
+		if st, err := os.Stat(f); err != nil || st.Size() == 0 {
+			t.Errorf("%s missing or empty (%v)", f, err)
+		}
+	}
+	if !strings.Contains(out.String(), "perf-virus") {
+		t.Fatalf("kind run produced: %q", out.String())
+	}
+}

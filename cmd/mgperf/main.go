@@ -37,6 +37,7 @@ import (
 	"strings"
 	"time"
 
+	"micrograd/internal/evalcache"
 	"micrograd/internal/knobs"
 	"micrograd/internal/metrics"
 	"micrograd/internal/microprobe"
@@ -153,6 +154,7 @@ func run(args []string, out io.Writer) error {
 		outPath      = fs.String("out", "", "write the JSON report to this file (empty = stdout only)")
 		basePath     = fs.String("baseline", "", "embed a previous run's report or measurement as the baseline")
 		quick        = fs.Bool("quick", false, "CI smoke budget: few evaluations, short runs")
+		memoCap      = fs.Int("memo-cap", 0, "bound the measured evaluation cache to this many entries with LRU eviction (0 = unbounded)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -220,7 +222,7 @@ func run(args []string, out io.Writer) error {
 
 	// Memo behaviour: evaluate the batch twice through the memoized stack;
 	// the second pass must be all hits.
-	em, sm, err := measureMemo(cfgs, wl)
+	em, sm, err := measureMemo(cfgs, wl, *memoCap)
 	if err != nil {
 		return err
 	}
@@ -451,10 +453,13 @@ func measureGridSolve(traces []powersim.PowerTrace, windowNS float64) (GridSolve
 }
 
 // measureMemo exercises both memo layers on a bounded slice of the batch:
-// two passes through the memoizing evaluator (the second must be all
-// evaluation-memo hits, and never reaches the synthesizer), then one pass
-// straight through the session (all synthesis-memo hits).
-func measureMemo(cfgs []knobs.Config, wl Workload) (MemoCounters, MemoCounters, error) {
+// two passes through a memoizing evaluator over a shared evalcache group
+// (with an unbounded cache the second pass must be all evaluation-cache
+// hits, and never reaches the synthesizer; memoCap > 0 bounds the cache
+// with LRU eviction instead), then one pass straight through the session
+// (all synthesis-memo hits). The reported eval counters are the shared
+// group's — the same counters mgserve's /stats endpoint exposes.
+func measureMemo(cfgs []knobs.Config, wl Workload, memoCap int) (MemoCounters, MemoCounters, error) {
 	if len(cfgs) > 16 {
 		cfgs = cfgs[:16]
 	}
@@ -463,21 +468,27 @@ func measureMemo(cfgs []knobs.Config, wl Workload) (MemoCounters, MemoCounters, 
 	if err != nil {
 		return MemoCounters{}, MemoCounters{}, err
 	}
-	memo := tuner.NewMemoizingEvaluator(tuner.EvaluatorFunc(eval))
+	cache, err := evalcache.New(memoCap)
+	if err != nil {
+		return MemoCounters{}, MemoCounters{}, err
+	}
+	group := evalcache.NewGroup(cache)
+	memo := tuner.NewSharedMemoizingEvaluator(tuner.EvaluatorFunc(eval), group, tuner.DefaultKey)
 	ctx := context.Background()
 	for pass := 0; pass < 2; pass++ {
 		if _, err := tuner.EvaluateAll(ctx, memo, cfgs); err != nil {
 			return MemoCounters{}, MemoCounters{}, err
 		}
 	}
-	// A direct pass (no evaluation memo in front) re-requests every kernel
+	// A direct pass (no evaluation cache in front) re-requests every kernel
 	// from the synthesis memo.
 	for _, cfg := range cfgs {
 		if _, err := eval(cfg); err != nil {
 			return MemoCounters{}, MemoCounters{}, err
 		}
 	}
-	em := MemoCounters{Hits: memo.Hits(), Misses: memo.Misses()}
+	hits, misses := group.Stats()
+	em := MemoCounters{Hits: hits, Misses: misses}
 	sh, sm := syn.Stats()
 	return em, MemoCounters{Hits: sh, Misses: sm}, nil
 }

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math"
 
+	"micrograd/internal/evalcache"
 	"micrograd/internal/knobs"
 	"micrograd/internal/metrics"
 	"micrograd/internal/microprobe"
@@ -64,6 +65,21 @@ type Options struct {
 	// worker. Required when Parallel > 1 because Platform implementations
 	// are not concurrency-safe.
 	NewPlatform func() (platform.Platform, error)
+	// Memo, when set, is a shared evaluation-result cache: concurrent or
+	// successive runs pointed at the same group reuse each other's
+	// evaluations. Nil keeps today's behavior (a private cache per run).
+	Memo *evalcache.Group
+	// MemoCap bounds the private evaluation cache when Memo is nil:
+	// 0 keeps it unbounded, N > 0 selects an N-entry LRU. Ignored when
+	// Memo is set.
+	MemoCap int
+	// Synth, when set, is a shared caching synthesizer; its options
+	// override LoopSize and Seed for program generation so that every run
+	// sharing it (and a Memo group) agrees on kernel content identity.
+	Synth *microprobe.CachingSynthesizer
+	// OnEpoch, when set, observes each tuning epoch as it completes. It is
+	// called synchronously on the tuning goroutine.
+	OnEpoch func(tuner.EpochRecord)
 }
 
 // normalized fills in defaults.
@@ -137,8 +153,11 @@ func Clone(ctx context.Context, name string, target metrics.Vector, opts Options
 	// The synthesizer is pure per call (it derives a fresh RNG from its
 	// fixed seed), so one memoizing instance is shared by every worker;
 	// platforms are stateful and get one session per worker.
-	syn := microprobe.NewSynthesizer(microprobe.Options{LoopSize: opts.LoopSize, Seed: opts.Seed})
-	csyn := microprobe.NewCachingSynthesizer(microprobe.Options{LoopSize: opts.LoopSize, Seed: opts.Seed})
+	csyn := opts.Synth
+	if csyn == nil {
+		csyn = microprobe.NewCachingSynthesizer(microprobe.Options{LoopSize: opts.LoopSize, Seed: opts.Seed})
+	}
+	syn := microprobe.NewSynthesizer(csyn.Options())
 	synthEval := func(plat platform.Platform) sched.EvalFunc {
 		if re, ok := plat.(platform.RequestEvaluator); ok {
 			session := platform.NewEvalSession(re, csyn)
@@ -172,7 +191,16 @@ func Clone(ctx context.Context, name string, target metrics.Vector, opts Options
 		base = pe
 	}
 	evaluator := tuner.NewCountingEvaluator(base)
-	memo := tuner.NewMemoizingEvaluator(evaluator)
+	group := opts.Memo
+	if group == nil {
+		cache, err := evalcache.New(opts.MemoCap)
+		if err != nil {
+			return Report{}, fmt.Errorf("cloning: %w", err)
+		}
+		group = evalcache.NewGroup(cache)
+	}
+	keyer := platform.NewEvalKeyer(platform.EvalIdentityOf(opts.Platform), csyn.Options(), opts.EvalOptions)
+	memo := tuner.NewSharedMemoizingEvaluator(evaluator, group, keyer.Key)
 
 	loss := metrics.CloneLoss{Target: target, Weights: opts.Weights, Metrics: opts.Metrics}
 	prob := tuner.Problem{
@@ -182,6 +210,7 @@ func Clone(ctx context.Context, name string, target metrics.Vector, opts Options
 		MaxEpochs:  opts.MaxEpochs,
 		TargetLoss: TargetLossFor(opts.TargetAccuracy, len(opts.Metrics)),
 		Seed:       opts.Seed,
+		OnEpoch:    opts.OnEpoch,
 	}
 
 	res, err := opts.Tuner.Run(ctx, prob)

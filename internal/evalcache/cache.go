@@ -1,0 +1,223 @@
+// Package evalcache provides the shared, content-addressed evaluation-result
+// cache behind tuner.MemoizingEvaluator and the mgserve daemon. A Cache
+// stores metric vectors under opaque string keys (the structured EvalKey
+// computed at the platform layer); a Group wraps one Cache with the
+// single-flight deduplication and hit/miss accounting that make it safe —
+// and profitable — to share one cache across many concurrent tuning jobs.
+package evalcache
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"micrograd/internal/metrics"
+)
+
+// Cache is a store of evaluation results keyed by content-addressed
+// evaluation identity. Implementations are NOT required to be safe for
+// concurrent use — Group serializes all access; values passed to Put and
+// returned by Get are owned by the caller (Group clones on both sides).
+type Cache interface {
+	// Get returns the vector stored under key, if any.
+	Get(key string) (metrics.Vector, bool)
+	// Put stores v under key, evicting older entries if the store is
+	// bounded.
+	Put(key string, v metrics.Vector)
+	// Len returns the number of stored entries.
+	Len() int
+}
+
+// MapCache is the unbounded in-memory store — the behaviour every
+// memoizing evaluator had before the cache became pluggable.
+type MapCache struct {
+	m map[string]metrics.Vector
+}
+
+// NewMap returns an empty unbounded cache.
+func NewMap() *MapCache { return &MapCache{m: make(map[string]metrics.Vector)} }
+
+// Get implements Cache.
+func (c *MapCache) Get(key string) (metrics.Vector, bool) {
+	v, ok := c.m[key]
+	return v, ok
+}
+
+// Put implements Cache.
+func (c *MapCache) Put(key string, v metrics.Vector) { c.m[key] = v }
+
+// Len implements Cache.
+func (c *MapCache) Len() int { return len(c.m) }
+
+// LRUCache is a bounded in-memory store with least-recently-used eviction.
+// Get refreshes recency; Put of an existing key replaces the value in
+// place. The entry count never exceeds the capacity.
+type LRUCache struct {
+	cap   int
+	order *list.List // front = most recently used; values are *lruEntry
+	index map[string]*list.Element
+}
+
+type lruEntry struct {
+	key string
+	v   metrics.Vector
+}
+
+// NewLRU returns an empty cache holding at most cap entries; cap must be
+// positive (use MapCache for an unbounded store).
+func NewLRU(cap int) (*LRUCache, error) {
+	if cap <= 0 {
+		return nil, fmt.Errorf("evalcache: LRU capacity must be positive, got %d", cap)
+	}
+	return &LRUCache{cap: cap, order: list.New(), index: make(map[string]*list.Element)}, nil
+}
+
+// Cap returns the capacity.
+func (c *LRUCache) Cap() int { return c.cap }
+
+// Get implements Cache.
+func (c *LRUCache) Get(key string) (metrics.Vector, bool) {
+	el, ok := c.index[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*lruEntry).v, true
+}
+
+// Put implements Cache.
+func (c *LRUCache) Put(key string, v metrics.Vector) {
+	if el, ok := c.index[key]; ok {
+		el.Value.(*lruEntry).v = v
+		c.order.MoveToFront(el)
+		return
+	}
+	if c.order.Len() >= c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.index, oldest.Value.(*lruEntry).key)
+	}
+	c.index[key] = c.order.PushFront(&lruEntry{key: key, v: v})
+}
+
+// Len implements Cache.
+func (c *LRUCache) Len() int { return c.order.Len() }
+
+// DiskCache persists entries as one JSON file per key under a directory, so
+// a daemon restart (or a second process pointed at the same -cache-dir)
+// reopens a warm cache. Filenames are the SHA-256 of the key; the key is
+// stored inside the file and verified on read, so a hash collision degrades
+// to a miss instead of returning a wrong result. Writes go through a
+// temporary file and rename, so a crash never leaves a torn entry.
+type DiskCache struct {
+	dir string
+	// present tracks the keys known to be on disk (seeded from the directory
+	// listing at open), so Len is O(1) and repeated misses skip the syscall.
+	present map[string]bool
+}
+
+// diskEntry is the stored JSON document.
+type diskEntry struct {
+	Key     string         `json:"key"`
+	Metrics metrics.Vector `json:"metrics"`
+}
+
+const diskSuffix = ".json"
+
+// NewDisk opens (creating if needed) a disk-backed cache rooted at dir.
+func NewDisk(dir string) (*DiskCache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("evalcache: creating cache dir: %w", err)
+	}
+	c := &DiskCache{dir: dir, present: make(map[string]bool)}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("evalcache: scanning cache dir: %w", err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), diskSuffix) {
+			continue
+		}
+		ent, err := readDiskEntry(filepath.Join(dir, e.Name()))
+		if err != nil {
+			continue // torn or foreign file: ignore, it will read as a miss
+		}
+		c.present[ent.Key] = true
+	}
+	return c, nil
+}
+
+// Dir returns the cache directory.
+func (c *DiskCache) Dir() string { return c.dir }
+
+// path returns the entry file for a key.
+func (c *DiskCache) path(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return filepath.Join(c.dir, hex.EncodeToString(sum[:])+diskSuffix)
+}
+
+// Get implements Cache.
+func (c *DiskCache) Get(key string) (metrics.Vector, bool) {
+	if !c.present[key] {
+		return nil, false
+	}
+	ent, err := readDiskEntry(c.path(key))
+	if err != nil || ent.Key != key {
+		delete(c.present, key)
+		return nil, false
+	}
+	return ent.Metrics, true
+}
+
+// Put implements Cache.
+func (c *DiskCache) Put(key string, v metrics.Vector) {
+	blob, err := json.Marshal(diskEntry{Key: key, Metrics: v})
+	if err != nil {
+		return // a metric vector always marshals; defensive only
+	}
+	path := c.path(key)
+	tmp, err := os.CreateTemp(c.dir, "put-*")
+	if err != nil {
+		return
+	}
+	_, werr := tmp.Write(blob)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil || os.Rename(tmp.Name(), path) != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	c.present[key] = true
+}
+
+// Len implements Cache.
+func (c *DiskCache) Len() int { return len(c.present) }
+
+// readDiskEntry loads and decodes one entry file.
+func readDiskEntry(path string) (diskEntry, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return diskEntry{}, err
+	}
+	var ent diskEntry
+	if err := json.Unmarshal(blob, &ent); err != nil {
+		return diskEntry{}, err
+	}
+	return ent, nil
+}
+
+// New builds the cache a capacity flag selects: cap > 0 is a bounded LRU,
+// cap == 0 the unbounded map (the default behaviour).
+func New(cap int) (Cache, error) {
+	if cap > 0 {
+		return NewLRU(cap)
+	}
+	if cap < 0 {
+		return nil, fmt.Errorf("evalcache: capacity must be non-negative, got %d", cap)
+	}
+	return NewMap(), nil
+}

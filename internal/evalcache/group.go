@@ -1,0 +1,106 @@
+package evalcache
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"micrograd/internal/metrics"
+)
+
+// Flight is one in-progress evaluation. Callers that request a key already
+// being evaluated wait on the flight instead of paying for a duplicate
+// simulation; the result settles into the flight itself, so waiters are
+// immune to the cache evicting the entry between settle and read.
+type Flight struct {
+	done chan struct{}
+	v    metrics.Vector
+	err  error
+}
+
+// Wait blocks until the flight settles and returns its result (cloned, so
+// every waiter owns its vector).
+func (f *Flight) Wait() (metrics.Vector, error) {
+	<-f.done
+	if f.err != nil {
+		return nil, f.err
+	}
+	return f.v.Clone(), nil
+}
+
+// Group wraps one Cache with the concurrency machinery that makes it
+// shareable: a mutex serializing cache access, a single-flight table
+// deduplicating concurrent evaluations of the same key, and hit/miss
+// counters aggregated across every evaluator attached to the group. One
+// Group per mgserve daemon (or per standalone run) is the unit of sharing.
+type Group struct {
+	mu      sync.Mutex
+	cache   Cache
+	flights map[string]*Flight
+	hits    atomic.Uint64
+	misses  atomic.Uint64
+}
+
+// NewGroup wraps a cache. A nil cache means an unbounded map.
+func NewGroup(c Cache) *Group {
+	if c == nil {
+		c = NewMap()
+	}
+	return &Group{cache: c, flights: make(map[string]*Flight)}
+}
+
+// Lookup resolves a key against the cache and the in-flight table:
+//
+//   - cache hit: returns (cloned vector, nil, false);
+//   - another caller is evaluating the key: returns (nil, flight, false) —
+//     call Wait;
+//   - miss: registers and returns (nil, flight, true) — the caller now owns
+//     the flight and MUST Settle it exactly once.
+//
+// Hits (including waits on foreign flights) and misses are counted here.
+func (g *Group) Lookup(key string) (metrics.Vector, *Flight, bool) {
+	g.mu.Lock()
+	if v, ok := g.cache.Get(key); ok {
+		v = v.Clone()
+		g.mu.Unlock()
+		g.hits.Add(1)
+		return v, nil, false
+	}
+	if f, ok := g.flights[key]; ok {
+		g.mu.Unlock()
+		g.hits.Add(1)
+		return nil, f, false
+	}
+	f := &Flight{done: make(chan struct{})}
+	g.flights[key] = f
+	g.mu.Unlock()
+	g.misses.Add(1)
+	return nil, f, true
+}
+
+// Settle records an owned flight's outcome: successful results enter the
+// cache (cloned), the flight leaves the table, and every waiter is
+// released. Failed evaluations are not cached; a later Lookup retries.
+func (g *Group) Settle(key string, f *Flight, v metrics.Vector, err error) {
+	g.mu.Lock()
+	if err == nil {
+		g.cache.Put(key, v.Clone())
+	}
+	f.v, f.err = v, err
+	delete(g.flights, key)
+	g.mu.Unlock()
+	close(f.done)
+}
+
+// Len returns the number of cached entries.
+func (g *Group) Len() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.cache.Len()
+}
+
+// Stats returns the group-wide hit and miss counts, aggregated across every
+// evaluator sharing the group — the counters cross-job sharing is measured
+// by.
+func (g *Group) Stats() (hits, misses uint64) {
+	return g.hits.Load(), g.misses.Load()
+}

@@ -107,6 +107,12 @@ func runCloningExperiment(ctx context.Context, figure string, core platform.Core
 			MaxEpochs:   maxEpochs,
 			Parallel:    inner,
 			NewPlatform: func() (platform.Platform, error) { return platform.NewSimPlatform(core) },
+			// No shared Synth: each benchmark's generation seed differs, so
+			// the run builds its own synthesizer; the shared Memo group is
+			// still safe because the generation seed is part of the eval key.
+			Memo:    b.Memo,
+			MemoCap: b.MemoCap,
+			OnEpoch: b.cloneProgress(bm.Name),
 		}
 		rep, err := cloning.CloneBenchmark(ctx, bm, opts)
 		if err != nil {

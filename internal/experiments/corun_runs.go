@@ -90,6 +90,10 @@ func runCoRun(ctx context.Context, coreName string, cores int, b Budget, withBas
 				PowerCapW:      b.PowerCapW,
 				Parallel:       candWorkers,
 				NewPlatform:    func() (platform.Platform, error) { return multicore.New(spec, corePar) },
+				Memo:           b.Memo,
+				MemoCap:        b.MemoCap,
+				Synth:          b.Synth,
+				OnEpoch:        b.stressProgress("CoRun"),
 			})
 			if err != nil {
 				return fmt.Errorf("experiments: corun tuning: %w", err)
@@ -118,6 +122,10 @@ func runCoRun(ctx context.Context, coreName string, cores int, b Budget, withBas
 				PowerCapW:      b.PowerCapW,
 				Parallel:       inner,
 				NewPlatform:    func() (platform.Platform, error) { return platform.NewSimPlatform(core) },
+				Memo:           b.Memo,
+				MemoCap:        b.MemoCap,
+				Synth:          b.Synth,
+				OnEpoch:        b.stressProgress("SingleCore"),
 			})
 			if err != nil {
 				return fmt.Errorf("experiments: single-core baseline: %w", err)
@@ -177,7 +185,10 @@ func characterizeCoRun(spec multicore.CoRunSpec, corePar int, kind stress.Kind, 
 	if err != nil {
 		return nil, powersim.PowerTrace{}, err
 	}
-	syn := microprobe.NewCachingSynthesizer(microprobe.Options{LoopSize: b.LoopSize, Seed: b.Seed})
+	syn := b.Synth
+	if syn == nil {
+		syn = microprobe.NewCachingSynthesizer(microprobe.Options{LoopSize: b.LoopSize, Seed: b.Seed})
+	}
 	session := platform.NewEvalSession(measure, syn)
 	resp, err := session.Evaluate(platform.EvalRequest{
 		Name:    string(kind),

@@ -102,7 +102,7 @@ func runDVFS(ctx context.Context, coreName string, cores int, freqsGHz []float64
 	}
 	outer, _, candWorkers, corePar := coRunBudgetSplit(b.Parallel, nRuns, cores)
 	newCoRun := func() (platform.Platform, error) { return multicore.New(spec, corePar) }
-	newStress := func(kind stress.Kind, init knobs.Config) func(ctx context.Context) (stress.Report, error) {
+	newStress := func(kind stress.Kind, init knobs.Config, series string) func(ctx context.Context) (stress.Report, error) {
 		return func(ctx context.Context) (stress.Report, error) {
 			plat, err := multicore.New(spec, corePar)
 			if err != nil {
@@ -124,6 +124,10 @@ func runDVFS(ctx context.Context, coreName string, cores int, freqsGHz []float64
 				Initial:        init,
 				Parallel:       candWorkers,
 				NewPlatform:    newCoRun,
+				Memo:           b.Memo,
+				MemoCap:        b.MemoCap,
+				Synth:          b.Synth,
+				OnEpoch:        b.stressProgress(series),
 			})
 		}
 	}
@@ -131,7 +135,7 @@ func runDVFS(ctx context.Context, coreName string, cores int, freqsGHz []float64
 	runs := []func(ctx context.Context) error{
 		func(ctx context.Context) error {
 			var err error
-			if dvfs, err = newStress(stress.DVFSNoiseVirus, initial)(ctx); err != nil {
+			if dvfs, err = newStress(stress.DVFSNoiseVirus, initial, "DVFS")(ctx); err != nil {
 				return fmt.Errorf("experiments: dvfs tuning: %w", err)
 			}
 			return nil
@@ -140,7 +144,7 @@ func runDVFS(ctx context.Context, coreName string, cores int, freqsGHz []float64
 	if withBaseline {
 		runs = append(runs, func(ctx context.Context) error {
 			var err error
-			if baseline, err = newStress(stress.CoRunNoiseVirus, knobs.Config{})(ctx); err != nil {
+			if baseline, err = newStress(stress.CoRunNoiseVirus, knobs.Config{}, "HomogeneousCoRun")(ctx); err != nil {
 				return fmt.Errorf("experiments: homogeneous co-run baseline: %w", err)
 			}
 			return nil

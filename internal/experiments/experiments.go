@@ -10,7 +10,9 @@ import (
 	"fmt"
 	"sort"
 
+	"micrograd/internal/evalcache"
 	"micrograd/internal/isa"
+	"micrograd/internal/microprobe"
 	"micrograd/internal/platform"
 	"micrograd/internal/report"
 	"micrograd/internal/stress"
@@ -54,6 +56,74 @@ type Budget struct {
 	// epoch all fan out across this many workers. Values <= 1 run serially.
 	// Results are bit-identical at any worker count.
 	Parallel int
+	// Memo, when set, is a shared evaluation-result cache: every tuning run
+	// of the experiment — and every experiment pointed at the same group —
+	// reuses each other's evaluations. Keys carry the full evaluation
+	// identity (platform, synthesis options, evaluation window, seed), so
+	// sharing one group across heterogeneous experiments is safe. Nil keeps
+	// a private cache per tuning run.
+	Memo *evalcache.Group
+	// MemoCap bounds each run's private evaluation cache when Memo is nil:
+	// 0 keeps it unbounded (the historical behavior), N > 0 selects an
+	// N-entry LRU. Ignored when Memo is set.
+	MemoCap int
+	// Synth, when set, is a shared caching synthesizer reused by every
+	// tuning run whose generation options (LoopSize, Seed) match the
+	// budget's. Cloning runs ignore it: each benchmark derives its own
+	// generation seed, so a shared instance would change the clones.
+	Synth *microprobe.CachingSynthesizer
+	// OnProgress, when set, streams every tuning epoch as a labeled
+	// progression point — the same long-format (series, x, y) rows the CSV
+	// dumps contain. Runs within one experiment may execute concurrently,
+	// so the callback must be safe for concurrent use.
+	OnProgress func(ProgressRow)
+}
+
+// ProgressRow is one streamed point of a tuning progression: the same
+// long-format row report.SeriesCSV writes, tagged with the series name
+// ("GD", "GA", a benchmark, a tuner). X is the series' natural axis
+// (epochs for most experiments, cumulative evaluations for tunercmp).
+type ProgressRow struct {
+	Series string  `json:"series"`
+	X      float64 `json:"x"`
+	Y      float64 `json:"y"`
+}
+
+// stressProgress adapts the budget's OnProgress callback to one stress
+// run's epoch stream, labeling each point with the run's series name.
+// Nil when no callback is configured, which keeps streaming off.
+func (b Budget) stressProgress(series string) func(stress.EpochPoint) {
+	if b.OnProgress == nil {
+		return nil
+	}
+	cb := b.OnProgress
+	return func(p stress.EpochPoint) {
+		cb(ProgressRow{Series: series, X: float64(p.Epoch), Y: p.BestValue})
+	}
+}
+
+// stressProgressByEvals is stressProgress on the cumulative-evaluations
+// x-axis (the fair axis of the tuner comparison).
+func (b Budget) stressProgressByEvals(series string) func(stress.EpochPoint) {
+	if b.OnProgress == nil {
+		return nil
+	}
+	cb := b.OnProgress
+	return func(p stress.EpochPoint) {
+		cb(ProgressRow{Series: series, X: float64(p.CumulativeEvaluations), Y: p.BestValue})
+	}
+}
+
+// cloneProgress adapts the budget's OnProgress callback to one cloning
+// run's epoch stream (y is the best clone loss so far).
+func (b Budget) cloneProgress(series string) func(tuner.EpochRecord) {
+	if b.OnProgress == nil {
+		return nil
+	}
+	cb := b.OnProgress
+	return func(rec tuner.EpochRecord) {
+		cb(ProgressRow{Series: series, X: float64(rec.Epoch), Y: rec.BestLoss})
+	}
 }
 
 // FullBudget returns the paper-shaped budget used by cmd/mgbench by default.

@@ -98,7 +98,7 @@ func runSpatial(ctx context.Context, kind stress.Kind, coreName string, cores, r
 	// The two tuning runs are sequential — the spatial search warm-starts
 	// from the oblivious winner — so each gets the full worker budget.
 	_, _, candWorkers, corePar := coRunBudgetSplit(b.Parallel, 1, cores)
-	tune := func(ctx context.Context, kind stress.Kind, spec multicore.CoRunSpec, space *knobs.Space, init knobs.Config) (stress.Report, error) {
+	tune := func(ctx context.Context, kind stress.Kind, spec multicore.CoRunSpec, space *knobs.Space, init knobs.Config, series string) (stress.Report, error) {
 		plat, err := multicore.New(spec, corePar)
 		if err != nil {
 			return stress.Report{}, err
@@ -120,6 +120,10 @@ func runSpatial(ctx context.Context, kind stress.Kind, coreName string, cores, r
 			Initial:        init,
 			Parallel:       candWorkers,
 			NewPlatform:    func() (platform.Platform, error) { return multicore.New(spec, corePar) },
+			Memo:           b.Memo,
+			MemoCap:        b.MemoCap,
+			Synth:          b.Synth,
+			OnEpoch:        b.stressProgress(series),
 		})
 	}
 
@@ -128,7 +132,7 @@ func runSpatial(ctx context.Context, kind stress.Kind, coreName string, cores, r
 	var initial knobs.Config
 	space := knobs.SpatialStressSpace(cores)
 	if withOblivious {
-		if oblivious, err = tune(ctx, stress.CoRunNoiseVirus, lumped, nil, knobs.Config{}); err != nil {
+		if oblivious, err = tune(ctx, stress.CoRunNoiseVirus, lumped, nil, knobs.Config{}, "ObliviousCoRun"); err != nil {
 			return SpatialResult{}, fmt.Errorf("experiments: oblivious co-run tuning: %w", err)
 		}
 		gridScore, _, err := characterizeCoRun(grid, corePar, stress.CoRunNoiseVirus, oblivious.Config, b)
@@ -141,7 +145,7 @@ func runSpatial(ctx context.Context, kind stress.Kind, coreName string, cores, r
 		}
 	}
 
-	spatial, err := tune(ctx, kind, grid, space, initial)
+	spatial, err := tune(ctx, kind, grid, space, initial, "Spatial")
 	if err != nil {
 		return SpatialResult{}, fmt.Errorf("experiments: spatial tuning: %w", err)
 	}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"strings"
 
+	"micrograd/internal/evalcache"
 	"micrograd/internal/knobs"
 	"micrograd/internal/metrics"
 	"micrograd/internal/microprobe"
@@ -89,7 +90,7 @@ func runStressExperiment(ctx context.Context, figure string, kind stress.Kind, b
 	if inner < 1 {
 		inner = 1
 	}
-	newOpts := func(tn tuner.Tuner, epochs int) (stress.Options, error) {
+	newOpts := func(tn tuner.Tuner, epochs int, series string) (stress.Options, error) {
 		plat, err := platform.NewSimPlatform(core)
 		if err != nil {
 			return stress.Options{}, err
@@ -103,6 +104,10 @@ func runStressExperiment(ctx context.Context, figure string, kind stress.Kind, b
 			MaxEpochs:   epochs,
 			Parallel:    inner,
 			NewPlatform: func() (platform.Platform, error) { return platform.NewSimPlatform(core) },
+			Memo:        b.Memo,
+			MemoCap:     b.MemoCap,
+			Synth:       b.Synth,
+			OnEpoch:     b.stressProgress(series),
 		}, nil
 	}
 	var (
@@ -113,7 +118,7 @@ func runStressExperiment(ctx context.Context, figure string, kind stress.Kind, b
 	gaEpochs := b.StressEpochs + b.StressEpochs/2 // 1.5x, as observed in the paper
 	runs := []func(ctx context.Context) error{
 		func(ctx context.Context) error {
-			opts, err := newOpts(tuner.NewGradientDescent(tuner.GDParams{}), b.StressEpochs)
+			opts, err := newOpts(tuner.NewGradientDescent(tuner.GDParams{}), b.StressEpochs, "GD")
 			if err != nil {
 				return err
 			}
@@ -123,7 +128,7 @@ func runStressExperiment(ctx context.Context, figure string, kind stress.Kind, b
 			return nil
 		},
 		func(ctx context.Context) error {
-			opts, err := newOpts(tuner.NewGeneticAlgorithm(tuner.GAParams{}), gaEpochs)
+			opts, err := newOpts(tuner.NewGeneticAlgorithm(tuner.GAParams{}), gaEpochs, "GA")
 			if err != nil {
 				return err
 			}
@@ -182,7 +187,10 @@ func bruteForceReference(ctx context.Context, kind stress.Kind, core platform.Co
 		loss = metrics.StressLoss{Metric: metrics.IPC}
 	}
 	// One memoizing synthesizer shared by every brute-force worker session.
-	csyn := microprobe.NewCachingSynthesizer(microprobe.Options{LoopSize: b.LoopSize, Seed: b.Seed})
+	csyn := b.Synth
+	if csyn == nil {
+		csyn = microprobe.NewCachingSynthesizer(microprobe.Options{LoopSize: b.LoopSize, Seed: b.Seed})
+	}
 	synthEval := func(plat *platform.SimPlatform) sched.EvalFunc {
 		session := platform.NewEvalSession(plat, csyn)
 		return func(cfg knobs.Config) (metrics.Vector, error) {
@@ -207,6 +215,15 @@ func bruteForceReference(ctx context.Context, kind stress.Kind, core platform.Co
 		base = pe
 	}
 	counting := tuner.NewCountingEvaluator(base)
+	group := b.Memo
+	if group == nil {
+		cache, err := evalcache.New(b.MemoCap)
+		if err != nil {
+			return 0, 0, err
+		}
+		group = evalcache.NewGroup(cache)
+	}
+	keyer := platform.NewEvalKeyer(platform.EvalIdentityOf(plat), csyn.Options(), evalOpts)
 	bf := tuner.NewBruteForce(tuner.BruteForceParams{
 		MaxEvaluations:       b.BruteForceEvaluations,
 		LatticePointsPerKnob: 2,
@@ -215,7 +232,7 @@ func bruteForceReference(ctx context.Context, kind stress.Kind, core platform.Co
 	prob := tuner.Problem{
 		Space:      space,
 		Loss:       loss,
-		Evaluator:  tuner.NewMemoizingEvaluator(counting),
+		Evaluator:  tuner.NewSharedMemoizingEvaluator(counting, group, keyer.Key),
 		MaxEpochs:  1,
 		TargetLoss: tuner.NoTargetLoss,
 		Seed:       b.Seed,

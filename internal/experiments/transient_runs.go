@@ -56,6 +56,10 @@ func RunStressKind(ctx context.Context, kind stress.Kind, coreName string, b Bud
 		PowerCapW:      b.PowerCapW,
 		Parallel:       b.Parallel,
 		NewPlatform:    func() (platform.Platform, error) { return platform.NewSimPlatform(core) },
+		Memo:           b.Memo,
+		MemoCap:        b.MemoCap,
+		Synth:          b.Synth,
+		OnEpoch:        b.stressProgress(string(kind)),
 	})
 	if err != nil {
 		return StressKindRun{}, fmt.Errorf("experiments: stress %s: %w", kind, err)

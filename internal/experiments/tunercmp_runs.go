@@ -130,6 +130,10 @@ func RunTunerCmp(ctx context.Context, coreName string, cores, rows, cols int, tu
 			PowerCapW:      b.PowerCapW,
 			Parallel:       candWorkers,
 			NewPlatform:    func() (platform.Platform, error) { return multicore.New(spec, corePar) },
+			Memo:           b.Memo,
+			MemoCap:        b.MemoCap,
+			Synth:          b.Synth,
+			OnEpoch:        b.stressProgressByEvals(name),
 		})
 	}
 

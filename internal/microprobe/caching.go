@@ -45,6 +45,12 @@ func NewCachingSynthesizer(opts Options) *CachingSynthesizer {
 // LoopSize returns the static loop size the synthesizer generates.
 func (c *CachingSynthesizer) LoopSize() int { return c.syn.LoopSize() }
 
+// Options returns the (normalized) synthesis options. They are part of a
+// kernel's content identity: two caching synthesizers with equal options
+// generate identical programs for the same settings, which is what lets a
+// server pool synthesizers — and key evaluation caches — by options.
+func (c *CachingSynthesizer) Options() Options { return c.syn.Options() }
+
 // Synthesize generates (or recalls) the test case for a knob configuration.
 func (c *CachingSynthesizer) Synthesize(name string, cfg knobs.Config) (*program.Program, error) {
 	ck := cfg.Key()

@@ -54,6 +54,9 @@ func NewSynthesizer(opts Options) *Synthesizer {
 // LoopSize returns the static loop size the synthesizer generates.
 func (s *Synthesizer) LoopSize() int { return s.opts.LoopSize }
 
+// Options returns the (normalized) synthesis options.
+func (s *Synthesizer) Options() Options { return s.opts }
+
 // Synthesize generates the test case for a knob configuration.
 func (s *Synthesizer) Synthesize(name string, cfg knobs.Config) (*program.Program, error) {
 	return s.SynthesizeSettings(name, cfg.Settings())

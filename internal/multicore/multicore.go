@@ -227,6 +227,30 @@ func (c *CoRunPlatform) Name() string {
 // Spec returns the platform's co-run specification.
 func (c *CoRunPlatform) Spec() CoRunSpec { return c.spec }
 
+// EvalIdentity implements platform.Identifier: the full chip specification
+// — every core spec, the shared supply/thermal models, start skews, and the
+// spatial grid/floorplan when configured — canonically rendered so that two
+// chips built from the same spec key their evaluations identically.
+// Pointer-typed spec fields are dereferenced (a rendered address would make
+// every chip unique).
+func (c *CoRunPlatform) EvalIdentity() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "corun|supply=%+v|thermal=%+v|offsets=%v", c.spec.Supply, c.spec.Thermal, c.spec.OffsetCycles)
+	for i, core := range c.spec.Cores {
+		fmt.Fprintf(&b, "|core%d=%+v", i, core)
+	}
+	if c.spec.GridSupply != nil {
+		fmt.Fprintf(&b, "|gridsupply=%+v", *c.spec.GridSupply)
+	}
+	if c.spec.GridThermal != nil {
+		fmt.Fprintf(&b, "|gridthermal=%+v", *c.spec.GridThermal)
+	}
+	if c.spec.Floorplan != nil {
+		fmt.Fprintf(&b, "|floorplan=%+v", *c.spec.Floorplan)
+	}
+	return b.String()
+}
+
 // NumCores returns the number of co-running cores.
 func (c *CoRunPlatform) NumCores() int { return len(c.sims) }
 

@@ -1,0 +1,109 @@
+package platform
+
+import (
+	"strings"
+	"testing"
+
+	"micrograd/internal/knobs"
+	"micrograd/internal/microprobe"
+)
+
+func TestEvalIdentityMatchesAcrossInstances(t *testing.T) {
+	a, err := NewSimPlatform(Large())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewSimPlatform(Large())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.EvalIdentity() != b.EvalIdentity() {
+		t.Fatal("two platforms built from the same spec have different identities")
+	}
+	small, err := NewSimPlatform(Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.EvalIdentity() == small.EvalIdentity() {
+		t.Fatal("small and large cores share an identity")
+	}
+}
+
+func TestEvalIdentityOfFallsBackToName(t *testing.T) {
+	stub := NativeStub{}
+	if got := EvalIdentityOf(stub); got != stub.Name() {
+		t.Fatalf("EvalIdentityOf(stub) = %q, want %q", got, stub.Name())
+	}
+}
+
+func TestEvalKeyerSeparatesIdentities(t *testing.T) {
+	cfg := knobs.StressSpace().MidConfig()
+	synth := microprobe.Options{LoopSize: 200, Seed: 1}
+	base := EvalOptions{DynamicInstructions: 4000, Seed: 1, CollectPower: true}
+
+	k := NewEvalKeyer("ident", synth, base)
+	if k.Key(cfg, 1) != k.Key(cfg, 1) {
+		t.Fatal("keyer is not deterministic")
+	}
+	if k.Key(cfg, 1) == k.Key(cfg.Step(0, 1), 1) {
+		t.Fatal("different configurations share a key")
+	}
+
+	// Every identity component must change the key.
+	variants := []EvalKeyer{
+		NewEvalKeyer("other", synth, base),
+		NewEvalKeyer("ident", microprobe.Options{LoopSize: 300, Seed: 1}, base),
+		NewEvalKeyer("ident", synth, EvalOptions{DynamicInstructions: 4000, Seed: 2, CollectPower: true}),
+		NewEvalKeyer("ident", synth, EvalOptions{DynamicInstructions: 4000, Seed: 1}),
+		NewEvalKeyer("ident", synth, EvalOptions{DynamicInstructions: 4000, Seed: 1, CollectPower: true, FrequencyGHz: 1.2}),
+		NewEvalKeyer("ident", synth, EvalOptions{DynamicInstructions: 8000, Seed: 1, CollectPower: true}),
+	}
+	seen := map[string]bool{k.Key(cfg, 1): true}
+	for i, kv := range variants {
+		key := kv.Key(cfg, 1)
+		if seen[key] {
+			t.Fatalf("variant %d collides with an earlier identity", i)
+		}
+		seen[key] = true
+	}
+}
+
+func TestEvalKeyerFoldsFidelityIntoWindow(t *testing.T) {
+	cfg := knobs.StressSpace().MidConfig()
+	synth := microprobe.Options{LoopSize: 200, Seed: 1}
+
+	// A large window: fidelity 0.5 selects a genuinely shorter simulation,
+	// so the keys must differ.
+	k := NewEvalKeyer("ident", synth, EvalOptions{DynamicInstructions: 40000, Seed: 1})
+	if k.Key(cfg, 1) == k.Key(cfg, 0.5) {
+		t.Fatal("full and half fidelity share a key at a 40000-instruction window")
+	}
+	if !strings.Contains(k.Key(cfg, 0.5), "|n20000|") {
+		t.Fatalf("half-fidelity key %q does not carry the scaled window", k.Key(cfg, 0.5))
+	}
+
+	// A small window: both 0.5 and 0.6 floor at MinFidelityInstructions —
+	// the same simulation runs, so the keys must be equal.
+	k = NewEvalKeyer("ident", synth, EvalOptions{DynamicInstructions: 3000, Seed: 1})
+	if k.Key(cfg, 0.5) != k.Key(cfg, 0.6) {
+		t.Fatal("fidelities flooring to the same window do not share a key")
+	}
+}
+
+func TestEffectiveInstructions(t *testing.T) {
+	cases := []struct {
+		opts EvalOptions
+		want int
+	}{
+		{EvalOptions{}, DefaultDynamicInstructions},
+		{EvalOptions{DynamicInstructions: 5000}, 5000},
+		{EvalOptions{DynamicInstructions: 40000, Fidelity: 0.25}, 10000},
+		{EvalOptions{DynamicInstructions: 3000, Fidelity: 0.25}, MinFidelityInstructions},
+		{EvalOptions{DynamicInstructions: 5000, Fidelity: 1}, 5000},
+	}
+	for i, c := range cases {
+		if got := c.opts.EffectiveInstructions(); got != c.want {
+			t.Errorf("case %d: EffectiveInstructions = %d, want %d", i, got, c.want)
+		}
+	}
+}

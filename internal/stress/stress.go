@@ -8,6 +8,7 @@ import (
 	"context"
 	"fmt"
 
+	"micrograd/internal/evalcache"
 	"micrograd/internal/isa"
 	"micrograd/internal/knobs"
 	"micrograd/internal/metrics"
@@ -155,6 +156,25 @@ type Options struct {
 	// worker. Required when Parallel > 1 because Platform implementations
 	// are not concurrency-safe.
 	NewPlatform func() (platform.Platform, error)
+	// Memo optionally supplies a shared evaluation-cache group (one per
+	// daemon or experiment suite); the run's evaluator joins it with keys
+	// derived from the platform identity, synthesizer options and
+	// evaluation options, so concurrent runs over the same platform reuse
+	// each other's results. Nil keeps a private cache.
+	Memo *evalcache.Group
+	// MemoCap bounds a private evaluation cache (entries, LRU eviction);
+	// zero keeps it unbounded. Ignored when Memo is set — a shared group
+	// carries its own bound.
+	MemoCap int
+	// Synth optionally supplies a shared kernel-synthesis memo. Its options
+	// override LoopSize/Seed for generation, so every run sharing it —
+	// and the evaluation cache keys derived from it — agree on kernel
+	// content. Nil builds a private one from LoopSize/Seed.
+	Synth *microprobe.CachingSynthesizer
+	// OnEpoch, when set, streams each progression point as the tuning run
+	// produces it (the daemon's live progression feed). Called
+	// synchronously from the tuning loop.
+	OnEpoch func(EpochPoint)
 }
 
 // goal returns the metric and direction for a kind.
@@ -332,10 +352,16 @@ func Run(ctx context.Context, kind Kind, opts Options) (Report, error) {
 
 	// One shared synthesizer (pure per call), one platform — and one
 	// EvalSession — per worker. The memoizing synthesizer is shared across
-	// workers, so candidates differing only in evaluation-time knobs (per-core
+	// workers — and, when Options.Synth supplies one, across whole jobs —
+	// so candidates differing only in evaluation-time knobs (per-core
 	// clocks, start skews) reuse the already-synthesized kernels.
-	syn := microprobe.NewSynthesizer(microprobe.Options{LoopSize: opts.LoopSize, Seed: opts.Seed})
-	csyn := microprobe.NewCachingSynthesizer(microprobe.Options{LoopSize: opts.LoopSize, Seed: opts.Seed})
+	csyn := opts.Synth
+	if csyn == nil {
+		csyn = microprobe.NewCachingSynthesizer(microprobe.Options{LoopSize: opts.LoopSize, Seed: opts.Seed})
+	}
+	// The plain synthesizer (winner regeneration, non-request platforms)
+	// must generate the same kernels the caching one does.
+	syn := microprobe.NewSynthesizer(csyn.Options())
 	synthEval := func(plat platform.Platform) sched.EvalAtFunc {
 		if re, ok := plat.(platform.RequestEvaluator); ok {
 			session := platform.NewEvalSession(re, csyn)
@@ -379,7 +405,20 @@ func Run(ctx context.Context, kind Kind, opts Options) (Report, error) {
 		base = pe
 	}
 	counting := tuner.NewCountingEvaluator(base)
-	memo := tuner.NewMemoizingEvaluator(counting)
+	group := opts.Memo
+	if group == nil {
+		cache, err := evalcache.New(opts.MemoCap)
+		if err != nil {
+			return Report{}, fmt.Errorf("stress: %w", err)
+		}
+		group = evalcache.NewGroup(cache)
+	}
+	// Evaluation results are keyed by their full content identity —
+	// platform, kernel-synthesis options, evaluation options, effective
+	// window, configuration — so a shared group only ever serves results
+	// that an isolated run would have computed identically.
+	keyer := platform.NewEvalKeyer(platform.EvalIdentityOf(opts.Platform), csyn.Options(), evalOpts)
+	memo := tuner.NewSharedMemoizingEvaluator(counting, group, keyer.Key)
 
 	targetLoss := tuner.NoTargetLoss
 	if opts.TargetValue != nil {
@@ -399,6 +438,17 @@ func Run(ctx context.Context, kind Kind, opts Options) (Report, error) {
 		TargetLoss:     targetLoss,
 		Seed:           opts.Seed,
 		Initial:        opts.Initial,
+	}
+	if opts.OnEpoch != nil {
+		onEpoch := opts.OnEpoch
+		prob.OnEpoch = func(rec tuner.EpochRecord) {
+			onEpoch(EpochPoint{
+				Epoch:                 rec.Epoch,
+				BestValue:             lossToValue(rec.BestLoss, maximize),
+				Evaluations:           rec.Evaluations,
+				CumulativeEvaluations: rec.CumulativeEvaluations,
+			})
+		}
 	}
 	if opts.SecondaryMetric != "" {
 		prob.Secondary = metrics.StressLoss{Metric: opts.SecondaryMetric, Maximize: opts.SecondaryMaximize}

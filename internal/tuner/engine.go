@@ -242,14 +242,18 @@ func (e *engine) endEpoch(epochLoss float64) {
 // and per-epoch evaluation count, deriving everything else from the
 // engine's state.
 func (e *engine) appendRecord(epochLoss float64, evaluations int) {
-	e.res.Epochs = append(e.res.Epochs, EpochRecord{
+	rec := EpochRecord{
 		Epoch:                 len(e.res.Epochs) + 1,
 		BestLoss:              e.res.BestLoss,
 		EpochLoss:             epochLoss,
 		BestMetrics:           e.res.BestMetrics.Clone(),
 		Evaluations:           evaluations,
 		CumulativeEvaluations: e.res.TotalEvaluations,
-	})
+	}
+	e.res.Epochs = append(e.res.Epochs, rec)
+	if e.prob.OnEpoch != nil {
+		e.prob.OnEpoch(rec)
+	}
 }
 
 // targetReached reports whether the best loss has met the target.

@@ -2,7 +2,6 @@ package tuner
 
 import (
 	"context"
-	"fmt"
 
 	"micrograd/internal/knobs"
 	"micrograd/internal/metrics"
@@ -156,29 +155,30 @@ func (v *countingView) EvaluateBatch(ctx context.Context, cfgs []knobs.Config) (
 }
 
 // WithFidelity implements withFidelity for MemoizingEvaluator: the view
-// shares the cache and single-flight machinery, but keys reduced-fidelity
-// results under a fidelity prefix — the same configuration measures
-// differently at different window lengths, so the levels must not mix.
+// shares the cache group and single-flight machinery, but passes its
+// fidelity to the evaluator's KeyFunc — the same configuration measures
+// differently at different window lengths, so the levels must not mix
+// (unless the keyer knows they resolve to the same simulation window).
 func (m *MemoizingEvaluator) WithFidelity(fidelity float64) Evaluator {
 	if !SupportsFidelity(m.inner) {
 		return m // fidelity-blind stack: results identical, share the cache
 	}
-	return &memoView{m: m, inner: AtFidelity(m.inner, fidelity), prefix: fmt.Sprintf("f%g|", fidelity)}
+	return &memoView{m: m, inner: AtFidelity(m.inner, fidelity), fidelity: fidelity}
 }
 
 // memoView is a fidelity-bound view of a MemoizingEvaluator.
 type memoView struct {
-	m      *MemoizingEvaluator
-	inner  Evaluator
-	prefix string
+	m        *MemoizingEvaluator
+	inner    Evaluator
+	fidelity float64
 }
 
 // Evaluate implements Evaluator.
 func (v *memoView) Evaluate(cfg knobs.Config) (metrics.Vector, error) {
-	return v.m.evaluateKeyed(v.prefix+cfg.Key(), cfg, v.inner)
+	return v.m.evaluateKeyed(v.m.key(cfg, v.fidelity), cfg, v.inner)
 }
 
 // EvaluateBatch implements sched.BatchEvaluator.
 func (v *memoView) EvaluateBatch(ctx context.Context, cfgs []knobs.Config) ([]metrics.Vector, error) {
-	return v.m.evaluateBatchKeyed(ctx, v.prefix, cfgs, v.inner)
+	return v.m.evaluateBatchKeyed(ctx, v.fidelity, cfgs, v.inner)
 }

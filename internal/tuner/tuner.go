@@ -14,9 +14,10 @@ import (
 	"context"
 	"fmt"
 	"math"
-	"sync"
+	"strconv"
 	"sync/atomic"
 
+	"micrograd/internal/evalcache"
 	"micrograd/internal/knobs"
 	"micrograd/internal/metrics"
 	"micrograd/internal/sched"
@@ -90,91 +91,95 @@ func (c *CountingEvaluator) EvaluateBatch(ctx context.Context, cfgs []knobs.Conf
 // Count returns the number of evaluations served.
 func (c *CountingEvaluator) Count() int { return int(c.count.Load()) }
 
-// flight is one in-progress evaluation inside a MemoizingEvaluator; callers
-// that request a key already being evaluated wait on done instead of paying
-// for a duplicate simulation (single-flight deduplication).
-type flight struct {
-	done chan struct{}
-	v    metrics.Vector
-	err  error
-}
+// KeyFunc derives the cache key of evaluating a configuration at a fidelity
+// (values outside (0,1) mean full fidelity). Keys are content addresses:
+// evaluators that share a cache group must key by everything their results
+// depend on — platform.EvalKeyer builds such keys from the platform
+// identity, synthesizer options and evaluation options.
+type KeyFunc func(cfg knobs.Config, fidelity float64) string
 
-// MemoizingEvaluator wraps an Evaluator with a cache keyed on the knob
-// configuration, so that revisiting a configuration (common late in GA runs
-// and in brute-force sweeps) does not pay for a second simulation. The
-// evaluation count of the wrapped CountingEvaluator still reflects real
-// simulator work only.
-//
-// It is safe for concurrent use: the cache is lock-guarded and concurrent
-// evaluations of the same configuration are deduplicated single-flight, so a
-// configuration is simulated at most once no matter how many workers ask for
-// it simultaneously. Failed evaluations are not cached; a later call retries.
-type MemoizingEvaluator struct {
-	inner   Evaluator
-	mu      sync.Mutex
-	cache   map[string]metrics.Vector
-	flights map[string]*flight
-	hits    atomic.Uint64
-	misses  atomic.Uint64
-}
-
-// NewMemoizingEvaluator wraps inner with an unbounded cache.
-func NewMemoizingEvaluator(inner Evaluator) *MemoizingEvaluator {
-	return &MemoizingEvaluator{
-		inner:   inner,
-		cache:   make(map[string]metrics.Vector),
-		flights: make(map[string]*flight),
+// DefaultKey keys by configuration and fidelity level alone. It is correct
+// for a private cache bound to one evaluator (everything else is constant
+// there) but must not be used across evaluators with different platforms or
+// evaluation options.
+func DefaultKey(cfg knobs.Config, fidelity float64) string {
+	if fidelity > 0 && fidelity < 1 {
+		return "f" + strconv.FormatFloat(fidelity, 'g', -1, 64) + "|" + cfg.Key()
 	}
+	return cfg.Key()
 }
+
+// MemoizingEvaluator wraps an Evaluator with a content-addressed result
+// cache, so that revisiting a configuration (common late in GA runs and in
+// brute-force sweeps) does not pay for a second simulation. The evaluation
+// count of the wrapped CountingEvaluator still reflects real simulator work
+// only.
+//
+// The cache lives in an evalcache.Group, which may be private (the
+// NewMemoizingEvaluator default — unbounded, keyed by configuration and
+// fidelity) or shared across evaluators and jobs
+// (NewSharedMemoizingEvaluator with a platform-derived KeyFunc). Either
+// way it is safe for concurrent use: concurrent evaluations of the same key
+// are deduplicated single-flight — across every evaluator sharing the group
+// — so a key is simulated at most once no matter how many workers ask for
+// it simultaneously, and waiters read the flight itself, so a bounded cache
+// evicting the entry cannot lose their result. Failed evaluations are not
+// cached; a later call retries.
+type MemoizingEvaluator struct {
+	inner  Evaluator
+	group  *evalcache.Group
+	key    KeyFunc
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+// NewMemoizingEvaluator wraps inner with a private unbounded cache keyed by
+// configuration and fidelity — the right default for one standalone run.
+func NewMemoizingEvaluator(inner Evaluator) *MemoizingEvaluator {
+	return NewSharedMemoizingEvaluator(inner, nil, nil)
+}
+
+// NewSharedMemoizingEvaluator wraps inner over an existing cache group, so
+// many evaluators (typically one per tuning job) reuse — and race safely
+// for — each other's results. key must address everything the results
+// depend on beyond the configuration; nil group and key fall back to a
+// private unbounded cache with DefaultKey.
+func NewSharedMemoizingEvaluator(inner Evaluator, group *evalcache.Group, key KeyFunc) *MemoizingEvaluator {
+	if group == nil {
+		group = evalcache.NewGroup(nil)
+	}
+	if key == nil {
+		key = DefaultKey
+	}
+	return &MemoizingEvaluator{inner: inner, group: group, key: key}
+}
+
+// Group returns the cache group backing this evaluator.
+func (m *MemoizingEvaluator) Group() *evalcache.Group { return m.group }
 
 // Evaluate implements Evaluator with single-flight deduplication.
 func (m *MemoizingEvaluator) Evaluate(cfg knobs.Config) (metrics.Vector, error) {
-	return m.evaluateKeyed(cfg.Key(), cfg, m.inner)
+	return m.evaluateKeyed(m.key(cfg, 1), cfg, m.inner)
 }
 
-// evaluateKeyed is the single-flight core: one cache entry per key, with
-// misses forwarded to the given inner evaluator (full-fidelity calls pass
-// m.inner; fidelity views pass a fidelity-bound inner and a prefixed key).
+// evaluateKeyed is the single-flight core: full-fidelity calls pass m.inner;
+// fidelity views pass a fidelity-bound inner and the matching key.
 func (m *MemoizingEvaluator) evaluateKeyed(key string, cfg knobs.Config, inner Evaluator) (metrics.Vector, error) {
-	m.mu.Lock()
-	if v, ok := m.cache[key]; ok {
-		m.mu.Unlock()
+	v, f, owner := m.group.Lookup(key)
+	if !owner {
 		m.hits.Add(1)
-		return v.Clone(), nil
-	}
-	if f, ok := m.flights[key]; ok {
-		m.mu.Unlock()
-		m.hits.Add(1)
-		<-f.done
-		if f.err != nil {
-			return nil, f.err
+		if v != nil {
+			return v, nil
 		}
-		return f.v.Clone(), nil
+		return f.Wait()
 	}
-	f := &flight{done: make(chan struct{})}
-	m.flights[key] = f
-	m.mu.Unlock()
 	m.misses.Add(1)
-
 	v, err := inner.Evaluate(cfg)
-	m.settle(key, f, v, err)
+	m.group.Settle(key, f, v, err)
 	if err != nil {
 		return nil, err
 	}
 	return v, nil
-}
-
-// settle records a finished flight: successful results enter the cache, the
-// flight is removed, and every waiter is released.
-func (m *MemoizingEvaluator) settle(key string, f *flight, v metrics.Vector, err error) {
-	m.mu.Lock()
-	if err == nil {
-		m.cache[key] = v.Clone()
-	}
-	f.v, f.err = v, err
-	delete(m.flights, key)
-	m.mu.Unlock()
-	close(f.done)
 }
 
 // EvaluateBatch implements sched.BatchEvaluator. Cached configurations are
@@ -182,54 +187,53 @@ func (m *MemoizingEvaluator) settle(key string, f *flight, v metrics.Vector, err
 // callers) are evaluated once, and only the remaining unique misses are
 // forwarded — as one batch — to the wrapped evaluator.
 func (m *MemoizingEvaluator) EvaluateBatch(ctx context.Context, cfgs []knobs.Config) ([]metrics.Vector, error) {
-	return m.evaluateBatchKeyed(ctx, "", cfgs, m.inner)
+	return m.evaluateBatchKeyed(ctx, 1, cfgs, m.inner)
 }
 
-// evaluateBatchKeyed is the batch core behind EvaluateBatch; keyPrefix and
-// inner let fidelity views reuse the cache machinery with their own key
-// namespace and fidelity-bound inner evaluator.
-func (m *MemoizingEvaluator) evaluateBatchKeyed(ctx context.Context, keyPrefix string, cfgs []knobs.Config, inner Evaluator) ([]metrics.Vector, error) {
+// evaluateBatchKeyed is the batch core behind EvaluateBatch; fidelity and
+// inner let fidelity views reuse the cache machinery with fidelity-aware
+// keys and a fidelity-bound inner evaluator. Every result is resolved from
+// this call's own flights or a concurrent caller's — never re-read from the
+// cache — so a bounded cache evicting between settle and read cannot lose a
+// batch slot.
+func (m *MemoizingEvaluator) evaluateBatchKeyed(ctx context.Context, fidelity float64, cfgs []knobs.Config, inner Evaluator) ([]metrics.Vector, error) {
 	out := make([]metrics.Vector, len(cfgs))
 	type miss struct {
 		key string
-		f   *flight
+		f   *evalcache.Flight
 	}
 	var (
-		misses   []miss              // unique keys this call must evaluate
-		missCfgs []knobs.Config      // their configurations, same order
-		waits    = map[int]*flight{} // output index -> flight owned elsewhere
-		keyOf    = make([]string, len(cfgs))
+		misses   []miss         // unique keys this call must evaluate
+		missCfgs []knobs.Config // their configurations, same order
+		ownSlots = map[int]int{}
+		owned    = map[string]*evalcache.Flight{} // keys this call evaluates
+		waits    = map[int]*evalcache.Flight{}    // output index -> flight to wait on
 	)
-	m.mu.Lock()
-	started := map[string]bool{}
-	var nHits, nMisses uint64
 	for i, cfg := range cfgs {
-		key := keyPrefix + cfg.Key()
-		keyOf[i] = key
-		if v, ok := m.cache[key]; ok {
-			out[i] = v.Clone()
-			nHits++
-			continue
-		}
-		if started[key] {
-			nHits++
-			continue // resolved below from this batch's own results
-		}
-		if f, ok := m.flights[key]; ok {
+		key := m.key(cfg, fidelity)
+		if f, ok := owned[key]; ok {
+			// Duplicate within the batch: resolved from this call's own
+			// flight once it settles below.
 			waits[i] = f
-			nHits++
+			m.hits.Add(1)
 			continue
 		}
-		f := &flight{done: make(chan struct{})}
-		m.flights[key] = f
-		started[key] = true
+		v, f, owner := m.group.Lookup(key)
+		if !owner {
+			m.hits.Add(1)
+			if v != nil {
+				out[i] = v
+				continue
+			}
+			waits[i] = f // owned by a concurrent caller
+			continue
+		}
+		m.misses.Add(1)
+		owned[key] = f
+		ownSlots[i] = len(missCfgs)
 		misses = append(misses, miss{key: key, f: f})
 		missCfgs = append(missCfgs, cfg)
-		nMisses++
 	}
-	m.mu.Unlock()
-	m.hits.Add(nHits)
-	m.misses.Add(nMisses)
 
 	var batchErr error
 	if len(missCfgs) > 0 {
@@ -240,50 +244,42 @@ func (m *MemoizingEvaluator) evaluateBatchKeyed(ctx context.Context, keyPrefix s
 			if err == nil {
 				v = vs[j]
 			}
-			m.settle(ms.key, ms.f, v, err)
+			m.group.Settle(ms.key, ms.f, v, err)
+		}
+		if err == nil {
+			for i, j := range ownSlots {
+				out[i] = vs[j]
+			}
 		}
 	}
 
-	// Wait for flights owned by concurrent callers even on error, so no
-	// goroutine is left blocked on state we are about to abandon.
+	// Wait for the remaining flights even on error, so no slot is left
+	// unresolved while its owner has already settled. This call's own
+	// flights are settled above, so duplicate slots resolve immediately.
 	for i, f := range waits {
-		<-f.done
-		if f.err != nil {
+		v, err := f.Wait()
+		if err != nil {
 			if batchErr == nil {
-				batchErr = f.err
+				batchErr = err
 			}
 			continue
 		}
-		out[i] = f.v.Clone()
+		out[i] = v
 	}
 	if batchErr != nil {
 		return nil, batchErr
 	}
-
-	// Fill remaining slots (duplicates within the batch) from the cache.
-	m.mu.Lock()
 	for i := range out {
 		if out[i] == nil {
-			if v, ok := m.cache[keyOf[i]]; ok {
-				out[i] = v.Clone()
-			}
-		}
-	}
-	m.mu.Unlock()
-	for i := range out {
-		if out[i] == nil {
-			return nil, fmt.Errorf("tuner: memoizer lost result for configuration %q", keyOf[i])
+			return nil, fmt.Errorf("tuner: memoizer lost result for configuration %q", cfgs[i].Key())
 		}
 	}
 	return out, nil
 }
 
-// CacheSize returns the number of cached configurations.
-func (m *MemoizingEvaluator) CacheSize() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return len(m.cache)
-}
+// CacheSize returns the number of cached configurations in the backing
+// group (shared groups count every attached evaluator's entries).
+func (m *MemoizingEvaluator) CacheSize() int { return m.group.Len() }
 
 // Hits returns the number of requests answered without new simulator work:
 // cache hits, waits on another caller's in-flight evaluation, and duplicates
@@ -332,6 +328,12 @@ type Problem struct {
 	// feasible candidate preferable while pointing the search back toward
 	// the feasible region.
 	Constraint *Constraint
+	// OnEpoch, when set, observes every epoch record the moment it is
+	// appended to the progression — the streaming hook long-running callers
+	// (the mgserve daemon) use to push rows before the run completes. It is
+	// called synchronously from the tuning loop and must not retain the
+	// record's metric vector beyond the call.
+	OnEpoch func(EpochRecord)
 }
 
 // Constraint is an upper bound on a measured metric (e.g. chip_power_w for

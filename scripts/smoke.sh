@@ -7,7 +7,8 @@ set -eu
 cd "$(dirname "$0")/.."
 
 bin_dir="$(mktemp -d)"
-trap 'rm -rf "$bin_dir"' EXIT
+mgserve_pid=""
+trap 'kill "${mgserve_pid:-}" 2>/dev/null; rm -rf "$bin_dir"' EXIT
 
 echo "building commands and examples..."
 go build -o "$bin_dir" ./cmd/... ./examples/...
@@ -141,6 +142,59 @@ grep -q '"fidelity"' "$bin_dir/bench_smoke.json" || {
     echo "FAIL: mgperf report lacks the fidelity measurement" >&2
     exit 1
 }
+
+# Tuning daemon: start mgserve on a random port, submit a quick job and
+# stream its NDJSON progression, cancel a long second job mid-run, then
+# prove the shared cache stayed warm and usable by resubmitting the first
+# job and asserting it reports cross-job cache hits.
+echo "smoke: mgserve daemon"
+"$bin_dir/mgserve" -addr 127.0.0.1:0 -workers 1 > "$bin_dir/mgserve.log" 2>&1 &
+mgserve_pid=$!
+base=""
+for _ in $(seq 1 100); do
+    base="$(sed -n 's#^mgserve listening on \(http://.*\)$#\1#p' "$bin_dir/mgserve.log")"
+    [ -n "$base" ] && break
+    sleep 0.1
+done
+[ -n "$base" ] || { echo "FAIL: mgserve did not report a listen address" >&2; exit 1; }
+
+job_req='{"kind":"perf-virus","quick":true,"core":"small","instructions":2000,"epochs":3,"seed":1,"parallel":1}'
+job1="$(curl -sf "$base/jobs" -d "$job_req" | grep '"id"' | sed 's/.*: "\(.*\)",*/\1/')"
+[ -n "$job1" ] || { echo "FAIL: mgserve job submission returned no id" >&2; exit 1; }
+curl -sf "$base/jobs/$job1/stream" > "$bin_dir/mgserve_stream.ndjson"
+grep -q '"series"' "$bin_dir/mgserve_stream.ndjson" || {
+    echo "FAIL: mgserve stream carried no progression rows" >&2
+    exit 1
+}
+tail -1 "$bin_dir/mgserve_stream.ndjson" | grep -q '"state":"done"' || {
+    echo "FAIL: mgserve stream did not end in state done (got: $(tail -1 "$bin_dir/mgserve_stream.ndjson"))" >&2
+    exit 1
+}
+
+# Cancel a long-running job; the daemon must mark it cancelled, not failed.
+job2="$(curl -sf "$base/jobs" -d '{"kind":"power-virus","instructions":40000,"epochs":200,"seed":3,"parallel":1}' \
+    | grep '"id"' | sed 's/.*: "\(.*\)",*/\1/')"
+curl -sf -X POST "$base/jobs/$job2/cancel" > /dev/null
+state=""
+for _ in $(seq 1 100); do
+    state="$(curl -sf "$base/jobs/$job2" | sed -n 's/.*"state": "\(.*\)",*/\1/p')"
+    case "$state" in done|failed|cancelled) break ;; esac
+    sleep 0.1
+done
+[ "$state" = "cancelled" ] || { echo "FAIL: cancelled mgserve job ended as '$state'" >&2; exit 1; }
+
+# Warm-cache resubmission: the identical job must complete with cache hits.
+job3="$(curl -sf "$base/jobs" -d "$job_req" | grep '"id"' | sed 's/.*: "\(.*\)",*/\1/')"
+curl -sf "$base/jobs/$job3/stream" > /dev/null
+hits="$(curl -sf "$base/jobs/$job3" | sed -n 's/.*"cache_hits": \([0-9]*\),*/\1/p')"
+[ -n "$hits" ] && [ "$hits" -gt 0 ] || {
+    echo "FAIL: warm mgserve resubmission reported cache_hits='$hits', want > 0" >&2
+    exit 1
+}
+curl -sf "$base/stats" | grep -q '"cache_hits"' || { echo "FAIL: mgserve /stats lacks cache counters" >&2; exit 1; }
+kill "$mgserve_pid"
+wait "$mgserve_pid" 2>/dev/null || true
+mgserve_pid=""
 
 run "micrograd stress"    "$bin_dir/micrograd" -use-case stress -stress-kind voltage-noise-virus -core small -epochs 4 -instructions 5000 -loop-size 200
 run "micrograd cloning"   "$bin_dir/micrograd" -use-case cloning -benchmark mcf -epochs 4 -instructions 4000 -loop-size 200
